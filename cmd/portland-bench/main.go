@@ -1,0 +1,250 @@
+// Command portland-bench regenerates every table and figure of the
+// PortLand paper's evaluation, printing the same rows and series the
+// paper reports (see EXPERIMENTS.md for the mapping and the expected
+// shapes).
+//
+// Usage:
+//
+//	portland-bench                 # run everything
+//	portland-bench -exp f9,f13     # run a subset
+//	portland-bench -list           # list experiment IDs
+//	portland-bench -quick          # reduced trial counts (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"portland/internal/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(quick bool) error
+}
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,a1..a6) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "reduced trial counts")
+	)
+	flag.Parse()
+
+	exps := []experiment{
+		{"t1", "Table 1: technique comparison + forwarding-state proxy", runT1},
+		{"f9", "Figure 9: UDP convergence vs number of link failures", runF9},
+		{"f9s", "Figure 9 variant: whole-switch (agg/core) crashes", runF9S},
+		{"f10", "Figure 10: TCP convergence across a failure", runF10},
+		{"f11", "Figure 11: multicast convergence under failure", runF11},
+		{"f12", "Figure 12: TCP across VM live migration", runF12},
+		{"f13", "Figure 13: fabric-manager control traffic", runF13},
+		{"f14", "Figure 14: fabric-manager CPU requirement", runF14},
+		{"a1", "Ablation A1: ECMP vs spanning-tree cross-section goodput", runA1},
+		{"a2", "Ablation A2: LDP discovery time vs k", runA2},
+		{"a3", "Ablation A3: proxy ARP vs broadcast ARP cost", runA3},
+		{"a4", "Ablation A4: LDM interval sweep", runA4},
+		{"a5", "Ablation A5: ECMP flow-hash balance across cores", runA5},
+		{"a6", "Ablation A6: round-trip time by locality class", runA6},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	start := time.Now()
+	for _, e := range exps {
+		if *expFlag != "all" && !want[e.id] {
+			continue
+		}
+		if err := e.run(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runT1(quick bool) error {
+	cfg := experiments.DefaultTable1()
+	if quick {
+		cfg.Ks = []int{4, 8}
+	}
+	res, err := experiments.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF9(quick bool) error {
+	cfg := experiments.DefaultFig9()
+	if quick {
+		cfg.MaxFaults = 6
+		cfg.Trials = 3
+	}
+	res, err := experiments.RunFig9(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF9S(quick bool) error {
+	cfg := experiments.DefaultFig9()
+	cfg.Mode = experiments.FailSwitches
+	cfg.MaxFaults = 6
+	cfg.Trials = 5
+	if quick {
+		cfg.MaxFaults = 3
+		cfg.Trials = 2
+	}
+	res, err := experiments.RunFig9(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF10(bool) error {
+	res, err := experiments.RunFig10(experiments.DefaultFig10())
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF11(quick bool) error {
+	cfg := experiments.DefaultFig11()
+	if quick {
+		cfg.Trials = 4
+	}
+	res, err := experiments.RunFig11(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF12(bool) error {
+	res, err := experiments.RunFig12(experiments.DefaultFig12())
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF13(bool) error {
+	res, err := experiments.RunFig13(experiments.DefaultFig13())
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runF14(quick bool) error {
+	cfg := experiments.DefaultFig14()
+	if quick {
+		cfg.Registry = 8192
+		cfg.MeasureOps = 100000
+	}
+	res, err := experiments.RunFig14(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA1(bool) error {
+	res, err := experiments.RunA1(experiments.DefaultA1())
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA2(quick bool) error {
+	// The full sweep ends at the paper's deployment target: a k=48
+	// fat tree with 2880 switches and 27,648 hosts.
+	ks := []int{4, 8, 16, 32, 48}
+	if quick {
+		ks = []int{4, 8, 16}
+	}
+	res, err := experiments.RunA2(ks)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA3(bool) error {
+	res, err := experiments.RunA3(4, 8)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA5(quick bool) error {
+	flows := 256
+	if quick {
+		flows = 64
+	}
+	res, err := experiments.RunA5(4, flows)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA6(quick bool) error {
+	probes := 50
+	if quick {
+		probes = 20
+	}
+	res, err := experiments.RunA6(4, probes)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runA4(quick bool) error {
+	ivs := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond}
+	trials := 5
+	if quick {
+		trials = 2
+	}
+	res, err := experiments.RunA4(ivs, trials)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}

@@ -1,0 +1,3 @@
+module portland
+
+go 1.22

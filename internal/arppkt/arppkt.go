@@ -1,0 +1,143 @@
+// Package arppkt implements ARP over Ethernet/IPv4, the protocol the
+// PortLand fabric intercepts and proxies (paper §3.3).
+package arppkt
+
+import (
+	"fmt"
+	"net/netip"
+
+	"portland/internal/ether"
+)
+
+// Op is the ARP operation code.
+type Op uint16
+
+// Standard ARP operations.
+const (
+	OpRequest Op = 1
+	OpReply   Op = 2
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRequest:
+		return "request"
+	case OpReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("op%d", uint16(o))
+	}
+}
+
+// wireLen is the size of an Ethernet/IPv4 ARP packet.
+const wireLen = 28
+
+// Packet is an Ethernet/IPv4 ARP packet.
+//
+// A gratuitous ARP (sent after VM migration) is a reply with
+// SenderIP == TargetIP announcing the sender's new MAC.
+type Packet struct {
+	Op        Op
+	SenderMAC ether.Addr
+	SenderIP  netip.Addr
+	TargetMAC ether.Addr
+	TargetIP  netip.Addr
+}
+
+// Gratuitous reports whether the packet is a gratuitous announcement.
+func (p *Packet) Gratuitous() bool {
+	return p.Op == OpReply && p.SenderIP == p.TargetIP
+}
+
+// WireSize implements ether.Payload.
+func (p *Packet) WireSize() int { return wireLen }
+
+// AppendTo implements ether.Payload with the standard ARP layout:
+// htype=1 (Ethernet), ptype=0x0800, hlen=6, plen=4, oper, sha, spa,
+// tha, tpa.
+func (p *Packet) AppendTo(b []byte) []byte {
+	b = append(b, 0x00, 0x01, 0x08, 0x00, 6, 4)
+	b = append(b, byte(p.Op>>8), byte(p.Op))
+	b = append(b, p.SenderMAC[:]...)
+	b = appendIP4(b, p.SenderIP)
+	b = append(b, p.TargetMAC[:]...)
+	b = appendIP4(b, p.TargetIP)
+	return b
+}
+
+func appendIP4(b []byte, ip netip.Addr) []byte {
+	if !ip.Is4() {
+		// Unset addresses encode as 0.0.0.0 rather than panicking.
+		return append(b, 0, 0, 0, 0)
+	}
+	a4 := ip.As4()
+	return append(b, a4[:]...)
+}
+
+// Parse decodes an ARP packet from wire bytes.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < wireLen {
+		return nil, fmt.Errorf("parsing arp of %d bytes: %w", len(b), ether.ErrTruncated)
+	}
+	if b[0] != 0 || b[1] != 1 || b[2] != 0x08 || b[3] != 0 || b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("arppkt: unsupported hardware/protocol combination % x", b[:6])
+	}
+	p := &Packet{Op: Op(uint16(b[6])<<8 | uint16(b[7]))}
+	copy(p.SenderMAC[:], b[8:14])
+	p.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
+	copy(p.TargetMAC[:], b[18:24])
+	p.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
+	return p, nil
+}
+
+// Request builds an ARP request frame from (srcMAC, srcIP) asking for
+// targetIP. The Ethernet destination is broadcast, as a host stack
+// would send it; PortLand edge switches intercept it before it floods.
+func Request(srcMAC ether.Addr, srcIP, targetIP netip.Addr) *ether.Frame {
+	return &ether.Frame{
+		Dst:  ether.Broadcast,
+		Src:  srcMAC,
+		Type: ether.TypeARP,
+		Payload: &Packet{
+			Op:        OpRequest,
+			SenderMAC: srcMAC,
+			SenderIP:  srcIP,
+			TargetIP:  targetIP,
+		},
+	}
+}
+
+// Reply builds a unicast ARP reply frame answering reqSender at
+// (reqSenderMAC, reqSenderIP) that ip is at mac.
+func Reply(mac ether.Addr, ip netip.Addr, reqSenderMAC ether.Addr, reqSenderIP netip.Addr) *ether.Frame {
+	return &ether.Frame{
+		Dst:  reqSenderMAC,
+		Src:  mac,
+		Type: ether.TypeARP,
+		Payload: &Packet{
+			Op:        OpReply,
+			SenderMAC: mac,
+			SenderIP:  ip,
+			TargetMAC: reqSenderMAC,
+			TargetIP:  reqSenderIP,
+		},
+	}
+}
+
+// GratuitousReply builds the broadcast gratuitous ARP a migrated VM
+// emits to announce its (new) location.
+func GratuitousReply(mac ether.Addr, ip netip.Addr) *ether.Frame {
+	return &ether.Frame{
+		Dst:  ether.Broadcast,
+		Src:  mac,
+		Type: ether.TypeARP,
+		Payload: &Packet{
+			Op:        OpReply,
+			SenderMAC: mac,
+			SenderIP:  ip,
+			TargetMAC: ether.Broadcast,
+			TargetIP:  ip,
+		},
+	}
+}

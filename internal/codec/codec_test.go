@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"portland/internal/arppkt"
+	"portland/internal/baseline"
+	"portland/internal/ether"
+	"portland/internal/grouppkt"
+	"portland/internal/ippkt"
+	"portland/internal/ldp"
+)
+
+func ip4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+func frames() []*ether.Frame {
+	src := ether.Addr{2, 0, 0, 0, 0, 1}
+	dst := ether.Addr{0, 1, 0, 0, 0, 1}
+	return []*ether.Frame{
+		arppkt.Request(src, ip4(10, 0, 0, 1), ip4(10, 0, 0, 2)),
+		arppkt.Reply(dst, ip4(10, 0, 0, 2), src, ip4(10, 0, 0, 1)),
+		arppkt.GratuitousReply(src, ip4(10, 0, 0, 1)),
+		{Dst: dst, Src: src, Type: ether.TypeIPv4, Payload: &ippkt.IPv4{
+			TTL: 64, Protocol: ippkt.ProtoUDP, Src: ip4(10, 0, 0, 1), Dst: ip4(10, 0, 0, 2),
+			Payload: &ippkt.UDP{SrcPort: 5, DstPort: 7, Payload: ether.Raw("ping")},
+		}},
+		{Dst: dst, Src: src, Type: ether.TypeIPv4, Payload: &ippkt.IPv4{
+			TTL: 64, Protocol: ippkt.ProtoTCP, Src: ip4(10, 0, 0, 1), Dst: ip4(10, 0, 0, 2),
+			Payload: &ippkt.TCPSegment{SrcPort: 5, DstPort: 80, Seq: 9, Ack: 3,
+				Flags: ippkt.FlagACK, Window: 100, Payload: ether.Raw("data")},
+		}},
+		{Dst: ether.Broadcast, Src: src, Type: ether.TypeLDP, Payload: &ldp.Packet{
+			Kind: ldp.KindLDM, Switch: 9, Level: 2, Pod: 3, Pos: 255,
+		}},
+		{Dst: ether.Broadcast, Src: src, Type: ether.TypeGroupMgmt, Payload: &grouppkt.Packet{
+			Group: 0xbeef, Join: true, Source: true,
+		}},
+		{Dst: ether.Broadcast, Src: src, Type: baseline.TypeSTP, Payload: &baseline.BPDU{
+			Root: 1, Cost: 2, Sender: 3, AgeMs: 150, TCMs: 450,
+		}},
+		{Dst: dst, Src: src, Type: ether.Type(0x9999), Payload: ether.Raw{1, 2, 3}},
+	}
+}
+
+func TestVerifyFrameAllProtocols(t *testing.T) {
+	for _, f := range frames() {
+		if err := VerifyFrame(f); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestDecodeFrameTypes(t *testing.T) {
+	for _, f := range frames() {
+		got, err := DecodeFrame(f.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		// The decoded payload must be a typed struct, not raw bytes,
+		// for every protocol the fabric knows.
+		if f.Type != ether.Type(0x9999) {
+			if _, isRaw := got.Payload.(ether.Raw); isRaw {
+				t.Errorf("%v decoded to raw payload", f)
+			}
+		}
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	// A frame claiming ARP with a truncated body must error, not
+	// silently pass as raw.
+	f := &ether.Frame{Type: ether.TypeARP, Payload: ether.Raw{1, 2, 3}}
+	if _, err := DecodeFrame(f.Marshal()); err == nil {
+		t.Fatal("truncated ARP accepted")
+	}
+	g := &ether.Frame{Type: ether.TypeIPv4, Payload: ether.Raw{0x45}}
+	if _, err := DecodeFrame(g.Marshal()); err == nil {
+		t.Fatal("truncated IPv4 accepted")
+	}
+}
+
+func TestQuickUDPFramesSurvive(t *testing.T) {
+	fn := func(srcA, dstA ether.Addr, sp, dp uint16, payload []byte) bool {
+		f := &ether.Frame{Dst: dstA, Src: srcA, Type: ether.TypeIPv4, Payload: &ippkt.IPv4{
+			TTL: 64, Protocol: ippkt.ProtoUDP, Src: ip4(10, 0, 0, 1), Dst: ip4(10, 0, 0, 2),
+			Payload: &ippkt.UDP{SrcPort: sp, DstPort: dp, Payload: ether.Raw(payload)},
+		}}
+		return VerifyFrame(f) == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

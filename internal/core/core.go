@@ -1,0 +1,384 @@
+// Package core assembles a complete PortLand deployment: it
+// instantiates the fabric manager, one pswitch.Switch per switch in a
+// topology blueprint, one host.Host per host, wires every cable as a
+// simulated link, and connects each switch to the fabric manager over
+// a control channel. This is the composition root the public API,
+// examples, tests and experiment harness all build on.
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"portland/internal/codec"
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/ether"
+	"portland/internal/fabricmgr"
+	"portland/internal/host"
+	"portland/internal/ldp"
+	"portland/internal/pswitch"
+	"portland/internal/sim"
+	"portland/internal/topo"
+	"portland/internal/trace"
+)
+
+// Options configures a fabric build. Zero values take defaults.
+type Options struct {
+	// Seed drives the deterministic PRNG (default 1).
+	Seed uint64
+	// Link is the physical link configuration (default
+	// sim.DefaultLinkConfig: 1 GbE, 1 µs propagation).
+	Link sim.LinkConfig
+	// CtrlDelay is the one-way switch↔fabric-manager latency
+	// (default 20 µs, a rack-local control network).
+	CtrlDelay time.Duration
+	// LDP tunes the location-discovery timers.
+	LDP ldp.Config
+	// WireCheck round-trips every delivered frame through the real
+	// wire codecs (marshal → decode → re-marshal must be identical),
+	// turning any run into a codec conformance test. Costly; meant
+	// for tests.
+	WireCheck bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Link.Rate == 0 {
+		o.Link = sim.DefaultLinkConfig
+	}
+	if o.CtrlDelay <= 0 {
+		o.CtrlDelay = 20 * time.Microsecond
+	}
+	return o
+}
+
+// Fabric is a running PortLand deployment.
+type Fabric struct {
+	Eng     *sim.Engine
+	Spec    *topo.Spec
+	Opts    Options
+	Manager *fabricmgr.Manager
+
+	Switches map[topo.NodeID]*pswitch.Switch
+	Hosts    map[topo.NodeID]*host.Host
+	// Links is parallel to Spec.Links.
+	Links []*sim.Link
+
+	// control conns per switch: [0]=switch side, [1]=manager side.
+	ctrl map[topo.NodeID][2]*ctrlnet.SimConn
+
+	byName map[string]topo.NodeID
+}
+
+// NewFatTree builds (but does not start) a k-ary fat-tree fabric.
+func NewFatTree(k int, opts Options) (*Fabric, error) {
+	spec, err := topo.FatTree(k)
+	if err != nil {
+		return nil, err
+	}
+	return Build(spec, opts), nil
+}
+
+// Build wires a fabric from an arbitrary blueprint.
+func Build(spec *topo.Spec, opts Options) *Fabric {
+	opts = opts.withDefaults()
+	f := &Fabric{
+		Eng:      sim.New(opts.Seed),
+		Spec:     spec,
+		Opts:     opts,
+		Manager:  fabricmgr.New(),
+		Switches: make(map[topo.NodeID]*pswitch.Switch),
+		Hosts:    make(map[topo.NodeID]*host.Host),
+		ctrl:     make(map[topo.NodeID][2]*ctrlnet.SimConn),
+		byName:   make(map[string]topo.NodeID),
+	}
+	hostIdx := 0
+	for _, n := range spec.Nodes {
+		f.byName[n.Name] = n.ID
+		switch n.Level {
+		case topo.Host:
+			mac := HostMAC(hostIdx)
+			ip := HostIP(hostIdx)
+			hostIdx++
+			f.Hosts[n.ID] = host.New(f.Eng, n.Name, mac, ip)
+		default:
+			sw := pswitch.New(f.Eng, SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
+			f.Switches[n.ID] = sw
+			a, b := ctrlnet.SimPipe(f.Eng, opts.CtrlDelay)
+			a.SetHandler(sw.HandleCtrl)
+			sess := f.Manager.NewSession(b)
+			b.SetHandler(sess.Handle)
+			sw.SetControl(a)
+			f.ctrl[n.ID] = [2]*ctrlnet.SimConn{a, b}
+		}
+	}
+	for _, ls := range spec.Links {
+		an, bn := f.node(ls.A.Node), f.node(ls.B.Node)
+		l := sim.Connect(f.Eng, an, ls.A.Port, bn, ls.B.Port, opts.Link)
+		if opts.WireCheck {
+			l := l
+			l.Tap = func(frame *ether.Frame) {
+				if err := codec.VerifyFrame(frame); err != nil {
+					panic(fmt.Sprintf("wire check on %v: %v", l, err))
+				}
+			}
+		}
+		f.Links = append(f.Links, l)
+	}
+	return f
+}
+
+// LossyLink returns the default link configuration with a per-frame
+// random loss probability — protocol-robustness tests build fabrics
+// from it.
+func LossyLink(rate float64) sim.LinkConfig {
+	cfg := sim.DefaultLinkConfig
+	cfg.LossRate = rate
+	return cfg
+}
+
+// SwitchID maps a blueprint node to its burned-in switch identifier.
+func SwitchID(id topo.NodeID) ctrlmsg.SwitchID { return ctrlmsg.SwitchID(id) + 1 }
+
+// HostMAC returns the AMAC for the i-th host (see topo.HostMAC).
+func HostMAC(i int) ether.Addr { return topo.HostMAC(i) }
+
+// HostIP returns the IP for the i-th host (see topo.HostIP).
+func HostIP(i int) netip.Addr { return topo.HostIP(i) }
+
+func (f *Fabric) node(id topo.NodeID) sim.Node {
+	if sw, ok := f.Switches[id]; ok {
+		return sw
+	}
+	return f.Hosts[id]
+}
+
+// Start launches every node's protocol machinery.
+func (f *Fabric) Start() {
+	for _, id := range f.Spec.Switches() {
+		f.Switches[id].Start()
+	}
+	for _, id := range f.Spec.Hosts() {
+		f.Hosts[id].Start()
+	}
+}
+
+// RunFor advances virtual time by d.
+func (f *Fabric) RunFor(d time.Duration) { f.Eng.RunUntil(f.Eng.Now() + d) }
+
+// AwaitDiscovery runs the simulation until every switch has resolved
+// its location, or returns an error at the deadline.
+func (f *Fabric) AwaitDiscovery(limit time.Duration) error {
+	deadline := f.Eng.Now() + limit
+	step := 5 * time.Millisecond
+	for f.Eng.Now() < deadline {
+		f.Eng.RunUntil(minDur(f.Eng.Now()+step, deadline))
+		if f.AllResolved() {
+			return nil
+		}
+	}
+	var unresolved []string
+	for _, id := range f.Spec.Switches() {
+		if !f.Switches[id].Resolved() {
+			unresolved = append(unresolved, fmt.Sprintf("%s=%s", f.Switches[id].Name(), f.Switches[id].Loc()))
+		}
+	}
+	return fmt.Errorf("location discovery incomplete after %v: %v", limit, unresolved)
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AllResolved reports whether every live switch finished discovery.
+func (f *Fabric) AllResolved() bool {
+	for _, id := range f.Spec.Switches() {
+		if sw := f.Switches[id]; !sw.Failed() && !sw.Resolved() {
+			return false
+		}
+	}
+	return true
+}
+
+// SwitchByName returns the named switch.
+func (f *Fabric) SwitchByName(name string) *pswitch.Switch {
+	if id, ok := f.byName[name]; ok {
+		return f.Switches[id]
+	}
+	return nil
+}
+
+// HostByName returns the named host.
+func (f *Fabric) HostByName(name string) *host.Host {
+	if id, ok := f.byName[name]; ok {
+		return f.Hosts[id]
+	}
+	return nil
+}
+
+// HostList returns all hosts in blueprint order.
+func (f *Fabric) HostList() []*host.Host {
+	ids := f.Spec.Hosts()
+	out := make([]*host.Host, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, f.Hosts[id])
+	}
+	return out
+}
+
+// LinkBetween finds the blueprint link index joining two named nodes.
+func (f *Fabric) LinkBetween(a, b string) (int, bool) {
+	ai, aok := f.byName[a]
+	bi, bok := f.byName[b]
+	if !aok || !bok {
+		return 0, false
+	}
+	for i, ls := range f.Spec.Links {
+		if (ls.A.Node == ai && ls.B.Node == bi) || (ls.A.Node == bi && ls.B.Node == ai) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// FailLink takes the i-th blueprint link down.
+func (f *Fabric) FailLink(i int) { f.Links[i].SetUp(false) }
+
+// RestoreLink brings the i-th blueprint link back.
+func (f *Fabric) RestoreLink(i int) { f.Links[i].SetUp(true) }
+
+// FailSwitch crashes a switch: it stops speaking LDP and discards all
+// traffic; neighbors discover the failure through missed LDMs.
+func (f *Fabric) FailSwitch(name string) bool {
+	sw := f.SwitchByName(name)
+	if sw == nil {
+		return false
+	}
+	sw.Fail()
+	return true
+}
+
+// RecoverSwitch reboots a crashed switch: it rediscovers its location
+// from scratch and rejoins the fabric. Reports whether the switch
+// exists.
+func (f *Fabric) RecoverSwitch(name string) bool {
+	sw := f.SwitchByName(name)
+	if sw == nil {
+		return false
+	}
+	sw.Recover()
+	return true
+}
+
+// ControlStats sums control-channel traffic in both directions:
+// toMgr is switch→manager, fromMgr is manager→switch.
+func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
+	for _, pair := range f.ctrl {
+		s := pair[0].Stats()
+		toMgr.Msgs += s.Msgs
+		toMgr.Bytes += s.Bytes
+		s = pair[1].Stats()
+		fromMgr.Msgs += s.Msgs
+		fromMgr.Bytes += s.Bytes
+	}
+	return toMgr, fromMgr
+}
+
+// CheckDiscovery verifies LDP's output against the blueprint's ground
+// truth: levels match; discovered pod numbers partition exactly like
+// the blueprint pods; edge positions within each pod are a permutation
+// of 0..k/2-1.
+func (f *Fabric) CheckDiscovery() error {
+	podMap := make(map[int]uint16) // spec pod -> discovered pod
+	seenPod := make(map[uint16]int)
+	for _, n := range f.Spec.Nodes {
+		if n.Level == topo.Host {
+			continue
+		}
+		sw := f.Switches[n.ID]
+		if sw.Failed() {
+			continue
+		}
+		loc := sw.Loc()
+		wantLevel := map[topo.Level]uint8{
+			topo.Edge:        ctrlmsg.LevelEdge,
+			topo.Aggregation: ctrlmsg.LevelAggregation,
+			topo.Core:        ctrlmsg.LevelCore,
+		}[n.Level]
+		if loc.Level != wantLevel {
+			return fmt.Errorf("%s: discovered level %d, blueprint %s", n.Name, loc.Level, n.Level)
+		}
+		if n.Level == topo.Core {
+			continue
+		}
+		if got, ok := podMap[n.Pod]; ok {
+			if got != loc.Pod {
+				return fmt.Errorf("%s: discovered pod %d, rest of blueprint pod %d discovered %d", n.Name, loc.Pod, n.Pod, got)
+			}
+		} else {
+			if other, dup := seenPod[loc.Pod]; dup && other != n.Pod {
+				return fmt.Errorf("%s: discovered pod %d already used by blueprint pod %d", n.Name, loc.Pod, other)
+			}
+			podMap[n.Pod] = loc.Pod
+			seenPod[loc.Pod] = n.Pod
+		}
+	}
+	// Edge positions must be a permutation per pod.
+	pos := make(map[int]map[uint8]string)
+	for _, n := range f.Spec.Nodes {
+		if n.Level != topo.Edge || f.Switches[n.ID].Failed() {
+			continue
+		}
+		loc := f.Switches[n.ID].Loc()
+		if pos[n.Pod] == nil {
+			pos[n.Pod] = make(map[uint8]string)
+		}
+		if prev, dup := pos[n.Pod][loc.Pos]; dup {
+			return fmt.Errorf("%s: position %d already taken by %s", n.Name, loc.Pos, prev)
+		}
+		pos[n.Pod][loc.Pos] = n.Name
+		if f.Spec.K > 0 && int(loc.Pos) >= f.Spec.K/2 {
+			return fmt.Errorf("%s: position %d out of range for k=%d", n.Name, loc.Pos, f.Spec.K)
+		}
+	}
+	return nil
+}
+
+// TapSwitch installs a frame observer on the named switch; fn sees
+// every received (egress=false) and transmitted (egress=true) frame.
+// Pass nil to remove. Reports whether the switch exists.
+func (f *Fabric) TapSwitch(name string, fn func(port int, frame *ether.Frame, egress bool)) bool {
+	sw := f.SwitchByName(name)
+	if sw == nil {
+		return false
+	}
+	sw.Tap = fn
+	return true
+}
+
+// CapturePcap streams every frame the named switch touches into a
+// standard pcap capture (openable in Wireshark); non-Ethernet-coded
+// internal frames are serialized through the real wire codecs.
+func (f *Fabric) CapturePcap(name string, w io.Writer) (*trace.PcapWriter, error) {
+	pw, err := trace.NewPcapWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	ok := f.TapSwitch(name, func(_ int, frame *ether.Frame, egress bool) {
+		if !egress { // capture each frame once, on ingress
+			_ = pw.WriteFrame(f.Eng.Now(), frame)
+		}
+	})
+	if !ok {
+		return nil, fmt.Errorf("no switch named %q", name)
+	}
+	return pw, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"portland/internal/ether"
+)
+
+func buildK4(t *testing.T) *Fabric {
+	t.Helper()
+	f, err := NewFatTree(4, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("NewFatTree: %v", err)
+	}
+	f.Start()
+	if err := f.AwaitDiscovery(2 * time.Second); err != nil {
+		t.Fatalf("AwaitDiscovery: %v", err)
+	}
+	return f
+}
+
+func TestDiscoveryK4(t *testing.T) {
+	f := buildK4(t)
+	if err := f.CheckDiscovery(); err != nil {
+		t.Fatalf("CheckDiscovery: %v", err)
+	}
+	t.Logf("discovery completed at %v", f.Eng.Now())
+}
+
+func TestDiscoveryLargerK(t *testing.T) {
+	for _, k := range []int{6, 8} {
+		f, err := NewFatTree(k, Options{Seed: uint64(k)})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		f.Start()
+		if err := f.AwaitDiscovery(5 * time.Second); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := f.CheckDiscovery(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestUDPAcrossPods(t *testing.T) {
+	f := buildK4(t)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	got := 0
+	dst.Endpoint().BindUDP(9000, func(srcIP netip.Addr, srcPort uint16, _ ether.Payload) {
+		if srcIP != src.IP() || srcPort != 4000 {
+			t.Errorf("datagram from %v:%d, want %v:4000", srcIP, srcPort, src.IP())
+		}
+		got++
+	})
+	for i := 0; i < 10; i++ {
+		src.Endpoint().SendUDP(dst.IP(), 4000, 9000, 100)
+	}
+	f.RunFor(2 * time.Second)
+	if got != 10 {
+		t.Fatalf("delivered %d/10 datagrams (ARP unresolved? blackhole?)", got)
+	}
+	// The receiver's cache must hold a PMAC, not the sender's AMAC.
+	if mac, ok := src.ARPCacheLookup(dst.IP()); !ok {
+		t.Fatal("sender has no ARP entry for receiver")
+	} else if mac == dst.MAC() {
+		t.Fatalf("sender cached the AMAC %v; PortLand must hand out PMACs", mac)
+	}
+}
+
+func TestAllPairsConnectivityK4(t *testing.T) {
+	f := buildK4(t)
+	hosts := f.HostList()
+	type cell struct{ got int }
+	grid := make(map[netip.Addr]*cell)
+	for _, h := range hosts {
+		c := &cell{}
+		grid[h.IP()] = c
+		h.Endpoint().BindUDP(7, func(netip.Addr, uint16, ether.Payload) { c.got++ })
+	}
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a != b {
+				a.Endpoint().SendUDP(b.IP(), 7, 7, 64)
+			}
+		}
+	}
+	f.RunFor(3 * time.Second)
+	want := len(hosts) - 1
+	for _, h := range hosts {
+		if g := grid[h.IP()].got; g != want {
+			t.Errorf("%s received %d/%d", h.Name(), g, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"portland/internal/tcplite"
+	"portland/internal/workload"
+)
+
+// pathLinkOf returns a switch-switch link index currently carrying
+// frames between the flow's hosts, found by delta-sampling link
+// delivery counters over a window.
+func activeAggCoreLink(t *testing.T, f *Fabric, run time.Duration) int {
+	t.Helper()
+	type sample struct {
+		idx  int
+		base int64
+	}
+	var candidates []sample
+	for i, ls := range f.Spec.Links {
+		an := f.Spec.Nodes[ls.A.Node]
+		bn := f.Spec.Nodes[ls.B.Node]
+		if an.Level.String() == "host" || bn.Level.String() == "host" {
+			continue
+		}
+		candidates = append(candidates, sample{i, f.Links[i].Delivered})
+	}
+	f.RunFor(run)
+	best, bestDelta := -1, int64(0)
+	for _, c := range candidates {
+		ls := f.Spec.Links[c.idx]
+		an := f.Spec.Nodes[ls.A.Node]
+		bn := f.Spec.Nodes[ls.B.Node]
+		isAggCore := (an.Level.String() == "agg" && bn.Level.String() == "core") ||
+			(an.Level.String() == "core" && bn.Level.String() == "agg")
+		if !isAggCore {
+			continue
+		}
+		if d := f.Links[c.idx].Delivered - c.base; d > bestDelta {
+			bestDelta, best = d, c.idx
+		}
+	}
+	if best < 0 {
+		t.Fatal("no aggregation-core link carried traffic")
+	}
+	return best
+}
+
+func TestLinkFailureConvergence(t *testing.T) {
+	f := buildK4(t)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1] // distinct pods
+	flow := workload.StartCBR(f.Eng, src, dst, 21000, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond) // warm ARP + steady state
+
+	link := activeAggCoreLink(t, f, 200*time.Millisecond)
+	failAt := f.Eng.Now()
+	f.FailLink(link)
+	f.RunFor(1 * time.Second)
+
+	conv, ok := flow.RX.ConvergenceAfter(failAt, time.Millisecond)
+	if !ok {
+		t.Fatalf("flow never recovered after failing %v", f.Links[link])
+	}
+	t.Logf("convergence after failing %v: %v", f.Links[link], conv)
+	if conv > 200*time.Millisecond {
+		t.Fatalf("convergence %v exceeds 200ms; fault detection/rerouting broken", conv)
+	}
+	if conv < 5*time.Millisecond {
+		t.Logf("note: flow converged almost instantly (%v); failed link may have been off-path", conv)
+	}
+
+	// Steady state after convergence: no continuing loss.
+	lossWindowStart := failAt + 400*time.Millisecond
+	got := flow.RX.CountIn(lossWindowStart, lossWindowStart+400*time.Millisecond)
+	if got < 380 {
+		t.Fatalf("post-convergence delivery only %d/400 packets", got)
+	}
+
+	// Recovery: restore the link; traffic must keep flowing and the
+	// fabric must converge back with no loss spike.
+	restoreAt := f.Eng.Now()
+	f.RestoreLink(link)
+	f.RunFor(1 * time.Second)
+	conv, ok = flow.RX.ConvergenceAfter(restoreAt, time.Millisecond)
+	if !ok || conv > 100*time.Millisecond {
+		t.Fatalf("recovery disturbance %v (ok=%v); link restoration must be hitless-ish", conv, ok)
+	}
+	flow.Stop()
+}
+
+func TestSwitchFailureConvergence(t *testing.T) {
+	f := buildK4(t)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := workload.StartCBR(f.Eng, src, dst, 21001, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond)
+
+	// Crash a core switch; ECMP must shift flows to surviving cores.
+	failAt := f.Eng.Now()
+	f.FailSwitch("core-0")
+	f.FailSwitch("core-2")
+	f.RunFor(1 * time.Second)
+
+	// Whatever path the flow used, at most one detection period of
+	// loss is acceptable.
+	_, gap := flow.RX.MaxGap(failAt, failAt+time.Second)
+	t.Logf("max gap after crashing core-0+core-2: %v", gap)
+	if gap > 250*time.Millisecond {
+		t.Fatalf("gap %v after core crashes; rerouting failed", gap)
+	}
+	got := flow.RX.CountIn(failAt+500*time.Millisecond, failAt+900*time.Millisecond)
+	if got < 380 {
+		t.Fatalf("post-crash delivery only %d/400", got)
+	}
+	flow.Stop()
+}
+
+func TestIntraPodLinkFailure(t *testing.T) {
+	f := buildK4(t)
+	// Intra-pod flow between the two edges of pod 0.
+	src := f.HostByName("host-p0-e0-h0")
+	dst := f.HostByName("host-p0-e1-h0")
+	flow := workload.StartCBR(f.Eng, src, dst, 21002, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond)
+
+	// Fail one edge-agg link inside pod 0 on the destination side.
+	li, ok := f.LinkBetween("edge-p0-s1", "agg-p0-s0")
+	if !ok {
+		t.Fatal("blueprint link missing")
+	}
+	failAt := f.Eng.Now()
+	f.FailLink(li)
+	f.RunFor(1 * time.Second)
+	_, gap := flow.RX.MaxGap(failAt, failAt+time.Second)
+	t.Logf("intra-pod max gap: %v", gap)
+	if gap > 250*time.Millisecond {
+		t.Fatalf("gap %v after intra-pod link failure", gap)
+	}
+	got := flow.RX.CountIn(failAt+500*time.Millisecond, failAt+900*time.Millisecond)
+	if got < 380 {
+		t.Fatalf("post-failure delivery only %d/400", got)
+	}
+	flow.Stop()
+}
+
+func TestTCPSurvivesLinkFailure(t *testing.T) {
+	f := buildK4(t)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	dst.Endpoint().ListenTCP(80, nil)
+	conn := src.Endpoint().DialTCP(dst.IP(), 33000, 80, tcplite.Config{})
+	conn.Queue(20 << 20) // 20 MB bulk transfer
+	f.RunFor(500 * time.Millisecond)
+	if conn.State() != tcplite.StateEstablished {
+		t.Fatalf("connection state %v", conn.State())
+	}
+
+	link := activeAggCoreLink(t, f, 100*time.Millisecond)
+	f.FailLink(link)
+	f.RunFor(3 * time.Second)
+
+	// Find the server conn and confirm delivery resumed.
+	var delivered int64
+	for _, c := range dst.Endpoint().Conns() {
+		delivered += c.Delivered()
+	}
+	if delivered < 5<<20 {
+		t.Fatalf("server delivered only %d bytes after failure; TCP did not recover", delivered)
+	}
+	if conn.Stats.Timeouts == 0 && conn.Stats.FastRetrans == 0 {
+		t.Log("note: flow was not on the failed link (no retransmissions observed)")
+	}
+}

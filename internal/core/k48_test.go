@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestK48Discovery boots PortLand at the paper's full target scale —
+// a k=48 fat tree: 2880 switches, 27,648 hosts — and requires
+// zero-configuration location discovery to complete and verify
+// against ground truth. Guarded by -short (a few seconds of wall
+// time).
+func TestK48Discovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=48 takes a few seconds")
+	}
+	start := time.Now()
+	f, err := NewFatTree(48, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.AwaitDiscovery(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("k=48: %d switches, %d hosts, discovery virtual=%v wall=%v",
+		len(f.Spec.Switches()), len(f.Spec.Hosts()), f.Eng.Now(), time.Since(start))
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"portland/internal/ether"
+	"portland/internal/topo"
+)
+
+// TestGeneralMultiRootTree exercises the paper's generality claim:
+// PortLand is not fat-tree-specific. This pod has MORE edge switches
+// than aggregation switches (position space > uplink count), uneven
+// core fan-out, and still must discover, route all pairs, and survive
+// a failure.
+func TestGeneralMultiRootTree(t *testing.T) {
+	spec, err := topo.MultiRootTree(topo.MultiRootConfig{
+		Pods:         3,
+		EdgesPerPod:  4, // > AggsPerPod: stresses position negotiation
+		AggsPerPod:   2,
+		Cores:        4,
+		HostsPerEdge: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(spec, Options{Seed: 13})
+	f.Start()
+	if err := f.AwaitDiscovery(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := f.HostList()
+	if len(hosts) != 3*4*2 {
+		t.Fatalf("hosts: %d", len(hosts))
+	}
+	got := make(map[string]int)
+	for _, h := range hosts {
+		h := h
+		h.Endpoint().BindUDP(7, func(netip.Addr, uint16, ether.Payload) { got[h.Name()]++ })
+	}
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a != b {
+				a.Endpoint().SendUDP(b.IP(), 7, 7, 64)
+			}
+		}
+	}
+	f.RunFor(3 * time.Second)
+	want := len(hosts) - 1
+	for _, h := range hosts {
+		if got[h.Name()] != want {
+			t.Errorf("%s received %d/%d", h.Name(), got[h.Name()], want)
+		}
+	}
+}
+
+func TestMultiRootSurvivesFailure(t *testing.T) {
+	spec, err := topo.MultiRootTree(topo.MultiRootConfig{
+		Pods: 3, EdgesPerPod: 3, AggsPerPod: 2, Cores: 4, HostsPerEdge: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(spec, Options{Seed: 17})
+	f.Start()
+	if err := f.AwaitDiscovery(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	src := f.HostByName("host-p0-e0-h0")
+	dst := f.HostByName("host-p2-e2-h1")
+	n := 0
+	dst.Endpoint().BindUDP(8, func(netip.Addr, uint16, ether.Payload) { n++ })
+	tick := f.Eng.NewTicker(time.Millisecond, 0, func() {
+		src.Endpoint().SendUDP(dst.IP(), 8, 8, 64)
+	})
+	defer tick.Stop()
+	f.RunFor(500 * time.Millisecond)
+	if n < 400 {
+		t.Fatalf("pre-failure delivery %d", n)
+	}
+	// Fail one aggregation-core link in the destination pod side.
+	li, ok := f.LinkBetween("agg-p2-s0", "core-0")
+	if !ok {
+		t.Fatal("link not found")
+	}
+	f.FailLink(li)
+	f.RunFor(time.Second)
+	before := n
+	f.RunFor(500 * time.Millisecond)
+	if n-before < 480 {
+		t.Fatalf("post-failure delivery %d/500", n-before)
+	}
+}
+
+func TestMultiRootConfigValidation(t *testing.T) {
+	bad := []topo.MultiRootConfig{
+		{Pods: 1, EdgesPerPod: 1, AggsPerPod: 1, Cores: 1, HostsPerEdge: 1},
+		{Pods: 2, EdgesPerPod: 0, AggsPerPod: 1, Cores: 1, HostsPerEdge: 1},
+		{Pods: 2, EdgesPerPod: 1, AggsPerPod: 2, Cores: 3, HostsPerEdge: 1},
+		{Pods: 2, EdgesPerPod: 1, AggsPerPod: 2, Cores: 0, HostsPerEdge: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := topo.MultiRootTree(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package ctrlmsg
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"portland/internal/ether"
+)
+
+func ip(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }
+
+func TestAllKindsRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		Hello{Switch: 12},
+		LocationReport{Switch: 3, Loc: Loc{Level: LevelEdge, Pod: 7, Pos: 1}},
+		PodRequest{Switch: 9},
+		PodAssign{Pod: 42},
+		PMACRegister{Switch: 2, IP: ip([4]byte{10, 0, 0, 1}), AMAC: ether.Addr{2, 0, 0, 0, 0, 1}, PMAC: ether.Addr{0, 1, 0, 0, 0, 1}},
+		ARPQuery{Switch: 5, QueryID: 99, SenderPMAC: ether.Addr{0, 1, 0, 0, 0, 2}, SenderIP: ip([4]byte{10, 0, 0, 2}), TargetIP: ip([4]byte{10, 0, 0, 3})},
+		ARPAnswer{QueryID: 99, Found: true, TargetIP: ip([4]byte{10, 0, 0, 3}), PMAC: ether.Addr{0, 2, 0, 0, 0, 1}},
+		ARPAnswer{QueryID: 100, Found: false, TargetIP: ip([4]byte{10, 0, 0, 4})},
+		ARPFlood{QueryID: 100, SenderPMAC: ether.Addr{0, 1, 0, 1, 0, 1}, SenderIP: ip([4]byte{10, 0, 0, 2}), TargetIP: ip([4]byte{10, 0, 0, 4})},
+		FaultNotify{Switch: 4, Port: 3, Down: true, PeerID: 17, PeerLoc: Loc{Level: LevelCore, Pod: 0xffff, Pos: 0xff}, LocalLoc: Loc{Level: LevelAggregation, Pod: 2, Pos: 0xff}},
+		RouteExclude{Add: true, Via: 17, DstPod: 2, DstPos: AnyPos},
+		RouteExclude{Add: false, Via: 18, DstPod: 3, DstPos: 1},
+		McastJoin{Switch: 6, Group: 0xbeef, HostPMAC: ether.Addr{0, 1, 1, 0, 0, 1}, Join: true, Source: true},
+		McastInstall{Group: 0xbeef, OutPorts: []uint8{0, 2, 3}},
+		McastInstall{Group: 0xbeef}, // removal (empty ports)
+		MigrationUpdate{IP: ip([4]byte{10, 99, 0, 1}), OldPMAC: ether.Addr{0, 1, 0, 0, 0, 1}, NewPMAC: ether.Addr{0, 3, 1, 1, 0, 1}},
+		DHCPQuery{Switch: 4, QueryID: 11, XID: 0xdeadbeef, ClientMAC: ether.Addr{2, 0, 0, 0, 0, 9}},
+		DHCPAnswer{QueryID: 11, XID: 0xdeadbeef, IP: ip([4]byte{10, 200, 0, 1})},
+	}
+	for _, in := range msgs {
+		b := Encode(in)
+		out, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%T: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("%T round trip: %+v != %+v", in, in, out)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer must fail")
+	}
+	if _, err := Decode([]byte{0xee}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	// Truncated body.
+	b := Encode(ARPQuery{Switch: 1, QueryID: 2})
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+	// Trailing bytes.
+	if _, err := Decode(append(Encode(Hello{Switch: 1}), 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestQuickRoundTrips(t *testing.T) {
+	check := func(name string, f any) {
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("FaultNotify", func(sw uint32, port uint8, down bool, peer uint32, pl, ll Loc) bool {
+		in := FaultNotify{Switch: SwitchID(sw), Port: port, Down: down, PeerID: SwitchID(peer), PeerLoc: pl, LocalLoc: ll}
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	})
+	check("ARPQuery", func(sw uint32, qid uint64, pm ether.Addr, s4, t4 [4]byte) bool {
+		in := ARPQuery{Switch: SwitchID(sw), QueryID: qid, SenderPMAC: pm, SenderIP: ip(s4), TargetIP: ip(t4)}
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	})
+	check("RouteExclude", func(add bool, via uint32, pod uint16, pos uint8) bool {
+		in := RouteExclude{Add: add, Via: SwitchID(via), DstPod: pod, DstPos: pos}
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	})
+	check("McastInstall", func(group uint32, ports []uint8) bool {
+		if len(ports) > 255 {
+			ports = ports[:255]
+		}
+		in := McastInstall{Group: group, OutPorts: ports}
+		out, err := Decode(Encode(in))
+		if err != nil {
+			return false
+		}
+		got := out.(McastInstall)
+		if got.Group != group || len(got.OutPorts) != len(ports) {
+			return false
+		}
+		for i := range ports {
+			if got.OutPorts[i] != ports[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestKindStrings(t *testing.T) {
+	if int(kindMax) != len(kindNames) {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), kindMax)
+	}
+	if KindARPQuery.String() != "arp-query" || Kind(200).String() != "kind200" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestLocString(t *testing.T) {
+	l := Loc{Level: LevelEdge, Pod: 3, Pos: 1}
+	if got := l.String(); got != "{lvl=1 pod=3 pos=1}" {
+		t.Fatalf("Loc.String() = %q", got)
+	}
+}

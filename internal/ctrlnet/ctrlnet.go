@@ -1,0 +1,229 @@
+// Package ctrlnet provides transports for the switch ↔ fabric-manager
+// control protocol (ctrlmsg).
+//
+// Two implementations ship: a deterministic in-simulator pipe used by
+// every experiment, and a real TCP transport (length-prefixed frames
+// over net.Conn) proving the codec is a genuine wire protocol. Both
+// serialize every message through ctrlmsg.Encode/Decode, so the
+// in-simulator byte counters measure true control-plane traffic —
+// that is what the Figure 13 reproduction reports.
+package ctrlnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/sim"
+)
+
+// Handler consumes inbound control messages.
+type Handler func(ctrlmsg.Msg)
+
+// Conn is one end of a control channel.
+type Conn interface {
+	// Send transmits m to the peer. Implementations deliver
+	// asynchronously and in order.
+	Send(m ctrlmsg.Msg) error
+	// Close tears the channel down; subsequent Sends fail.
+	Close() error
+	// Stats returns cumulative byte/message counters for this end's
+	// transmit direction.
+	Stats() Stats
+}
+
+// Stats counts one direction of a control channel.
+type Stats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("ctrlnet: connection closed")
+
+// SimConn is one end of an in-simulator pipe.
+type SimConn struct {
+	eng     *sim.Engine
+	delay   time.Duration
+	peer    *SimConn
+	handler Handler
+	closed  bool
+	stats   Stats
+}
+
+// SimPipe creates a bidirectional in-simulator control channel with
+// the given one-way delay. Attach receivers with SetHandler on each
+// end. Delivery order is FIFO per direction, as over TCP.
+func SimPipe(eng *sim.Engine, delay time.Duration) (a, b *SimConn) {
+	ca := &SimConn{eng: eng, delay: delay}
+	cb := &SimConn{eng: eng, delay: delay}
+	ca.peer = cb
+	cb.peer = ca
+	return ca, cb
+}
+
+// SetHandler installs the function that receives messages sent by the
+// peer end.
+func (c *SimConn) SetHandler(h Handler) { c.handler = h }
+
+// Send implements Conn. The message is round-tripped through the wire
+// codec to keep the simulated and real transports byte-equivalent.
+func (c *SimConn) Send(m ctrlmsg.Msg) error {
+	if c.closed {
+		return ErrClosed
+	}
+	b := ctrlmsg.Encode(m)
+	c.stats.Msgs++
+	c.stats.Bytes += int64(len(b) + frameOverhead)
+	peer := c.peer
+	c.eng.Schedule(c.delay, func() {
+		if peer.closed {
+			return
+		}
+		d, err := ctrlmsg.Decode(b)
+		if err != nil {
+			panic(fmt.Sprintf("ctrlnet: self-encoded message failed decode: %v", err))
+		}
+		if peer.handler != nil {
+			peer.handler(d)
+		}
+	})
+	return nil
+}
+
+// Close implements Conn.
+func (c *SimConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Stats implements Conn.
+func (c *SimConn) Stats() Stats { return c.stats }
+
+// frameOverhead is the per-message framing cost (length prefix),
+// charged identically by both transports.
+const frameOverhead = 4
+
+// maxFrame bounds a control frame; anything larger is a protocol
+// error, not a legitimate message.
+const maxFrame = 1 << 20
+
+// TCPConn runs the control protocol over a net.Conn using 4-byte
+// big-endian length-prefixed frames. Reads are dispatched to the
+// handler from a dedicated goroutine.
+type TCPConn struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	closed  bool
+	stats   Stats
+	handler Handler
+	done    chan struct{}
+	readErr error
+}
+
+// NewTCPConn wraps c and starts the read loop. The handler is invoked
+// sequentially (one message at a time) from the reader goroutine.
+func NewTCPConn(c net.Conn, h Handler) *TCPConn {
+	t := &TCPConn{conn: c, handler: h, done: make(chan struct{})}
+	go t.readLoop()
+	return t
+}
+
+// Send implements Conn.
+func (t *TCPConn) Send(m ctrlmsg.Msg) error {
+	b := ctrlmsg.Encode(m)
+	var hdr [frameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("sending control frame header: %w", err)
+	}
+	if _, err := t.conn.Write(b); err != nil {
+		return fmt.Errorf("sending control frame body: %w", err)
+	}
+	t.stats.Msgs++
+	t.stats.Bytes += int64(len(b) + frameOverhead)
+	return nil
+}
+
+// Close implements Conn and waits for the read loop to exit.
+func (t *TCPConn) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return nil
+	}
+	t.closed = true
+	err := t.conn.Close()
+	t.mu.Unlock()
+	<-t.done
+	return err
+}
+
+// Stats implements Conn.
+func (t *TCPConn) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Done is closed when the read loop exits (peer disconnected or
+// Close was called) — the signal a server uses to reap the session.
+func (t *TCPConn) Done() <-chan struct{} { return t.done }
+
+// ReadErr reports the error that terminated the read loop, if any
+// (io.EOF and closed-connection errors are reported as nil).
+func (t *TCPConn) ReadErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.readErr
+}
+
+func (t *TCPConn) readLoop() {
+	defer close(t.done)
+	var hdr [frameOverhead]byte
+	for {
+		if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+			t.finish(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			t.finish(fmt.Errorf("ctrlnet: frame of %d bytes exceeds limit", n))
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(t.conn, body); err != nil {
+			t.finish(err)
+			return
+		}
+		m, err := ctrlmsg.Decode(body)
+		if err != nil {
+			t.finish(fmt.Errorf("decoding control frame: %w", err))
+			return
+		}
+		if t.handler != nil {
+			t.handler(m)
+		}
+	}
+}
+
+func (t *TCPConn) finish(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+		t.readErr = err
+	}
+	t.closed = true
+	t.conn.Close()
+}

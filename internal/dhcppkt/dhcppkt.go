@@ -1,0 +1,91 @@
+// Package dhcppkt is the compact DHCP used for host bootstrap. The
+// paper (§3.3) treats DHCP exactly like ARP: the only broadcast a
+// host ever needs is intercepted at its edge switch and proxied
+// through the fabric manager, which acts as the (logically
+// centralized) address server.
+//
+// The exchange is collapsed to Discover → Ack (the paper's testbed
+// semantics don't need competing offers: there is exactly one
+// authoritative server), carried over the real DHCP ports 68→67 in
+// UDP/IPv4 broadcast frames so the interception path is the one a
+// production switch would implement.
+package dhcppkt
+
+import (
+	"fmt"
+	"net/netip"
+
+	"portland/internal/ether"
+)
+
+// Op is the message type.
+type Op uint8
+
+// Message types (the collapsed DORA).
+const (
+	OpDiscover Op = 1
+	OpAck      Op = 2
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpDiscover:
+		return "discover"
+	case OpAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("op%d", uint8(o))
+	}
+}
+
+// Ports are the standard DHCP UDP ports.
+const (
+	ClientPort = 68
+	ServerPort = 67
+)
+
+const wireLen = 15
+
+// Packet is one DHCP message.
+type Packet struct {
+	Op        Op
+	XID       uint32 // transaction ID chosen by the client
+	ClientMAC ether.Addr
+	// YourIP is the assigned address (Ack only).
+	YourIP netip.Addr
+}
+
+// WireSize implements ether.Payload.
+func (p *Packet) WireSize() int { return wireLen }
+
+// AppendTo implements ether.Payload.
+func (p *Packet) AppendTo(b []byte) []byte {
+	b = append(b, uint8(p.Op))
+	b = append(b, byte(p.XID>>24), byte(p.XID>>16), byte(p.XID>>8), byte(p.XID))
+	b = append(b, p.ClientMAC[:]...)
+	if p.YourIP.Is4() {
+		v4 := p.YourIP.As4()
+		b = append(b, v4[:]...)
+	} else {
+		b = append(b, 0, 0, 0, 0)
+	}
+	return b
+}
+
+// Parse decodes a DHCP message.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < wireLen {
+		return nil, fmt.Errorf("parsing dhcp of %d bytes: %w", len(b), ether.ErrTruncated)
+	}
+	if Op(b[0]) != OpDiscover && Op(b[0]) != OpAck {
+		return nil, fmt.Errorf("dhcppkt: unknown op %d", b[0])
+	}
+	p := &Packet{
+		Op:  Op(b[0]),
+		XID: uint32(b[1])<<24 | uint32(b[2])<<16 | uint32(b[3])<<8 | uint32(b[4]),
+	}
+	copy(p.ClientMAC[:], b[5:11])
+	p.YourIP = netip.AddrFrom4([4]byte(b[11:15]))
+	return p, nil
+}

@@ -1,0 +1,37 @@
+package dhcppkt
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"portland/internal/ether"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(op uint8, xid uint32, mac ether.Addr, ip [4]byte) bool {
+		in := &Packet{Op: Op(op%2) + OpDiscover, XID: xid, ClientMAC: mac, YourIP: netip.AddrFrom4(ip)}
+		out, err := Parse(in.AppendTo(nil))
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(make([]byte, wireLen-1)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	b := (&Packet{Op: OpDiscover}).AppendTo(nil)
+	b[0] = 9
+	if _, err := Parse(b); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpDiscover.String() != "discover" || OpAck.String() != "ack" || Op(9).String() != "op9" {
+		t.Fatal("names")
+	}
+}

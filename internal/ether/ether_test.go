@@ -1,0 +1,125 @@
+package ether
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrStringParseRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		got, err := ParseAddr(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "00:11:22:33:44", "00:11:22:33:44:5", "00:11:22:33:44:5g",
+		"00-11-22-33-44-55", "00:11:22:33:44:55:66", "0g:11:22:33:44:55",
+	} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+	a, err := ParseAddr("0A:1b:2C:3d:4E:5f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != (Addr{0x0a, 0x1b, 0x2c, 0x3d, 0x4e, 0x5f}) {
+		t.Fatalf("mixed-case parse: %v", a)
+	}
+}
+
+func TestAddrPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() || Broadcast.IsMulticast() {
+		t.Error("broadcast predicates")
+	}
+	if !Zero.IsZero() || Zero.IsMulticast() {
+		t.Error("zero predicates")
+	}
+	mc := Addr{0x01, 0x00, 0x5e, 1, 2, 3}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Error("multicast predicates")
+	}
+	uni := Addr{0x02, 0, 0, 0, 0, 1}
+	if uni.IsMulticast() || uni.IsBroadcast() || uni.IsZero() {
+		t.Error("unicast predicates")
+	}
+}
+
+func TestFrameWireSizePadding(t *testing.T) {
+	f := &Frame{Type: TypeIPv4, Payload: Raw(make([]byte, 10))}
+	if got := f.WireSize(); got != MinFrameLen {
+		t.Fatalf("small frame WireSize=%d, want %d (min)", got, MinFrameLen)
+	}
+	f.Payload = Raw(make([]byte, 1500))
+	if got := f.WireSize(); got != HeaderLen+1500+FCSLen {
+		t.Fatalf("full frame WireSize=%d", got)
+	}
+	var empty Frame
+	if empty.WireSize() != MinFrameLen {
+		t.Fatal("nil-payload frame must still be min-sized")
+	}
+}
+
+func TestFrameMarshalDecodeRoundTrip(t *testing.T) {
+	f := func(dst, src Addr, typ uint16, payload []byte) bool {
+		in := &Frame{Dst: dst, Src: src, Type: Type(typ), Payload: Raw(payload)}
+		out, err := Decode(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Dst == dst && out.Src == src && out.Type == Type(typ) &&
+			string(out.Payload.(Raw)) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short buffer must fail")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := &Frame{Dst: Broadcast, Type: TypeARP, Payload: Raw("x")}
+	g := f.Clone()
+	g.Dst = Zero
+	if f.Dst != Broadcast {
+		t.Fatal("clone aliases the original header")
+	}
+}
+
+func TestGroupAddrRoundTrip(t *testing.T) {
+	f := func(group uint32) bool {
+		group &= 0x7fffff // 23 mappable bits, as documented
+		a := GroupAddr(group)
+		got, ok := GroupFromAddr(a)
+		return ok && got == group && a.IsMulticast()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := GroupFromAddr(Addr{0x02, 0, 0, 1, 2, 3}); ok {
+		t.Fatal("non-group address must not parse as a group")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeIPv4: "IPv4", TypeARP: "ARP", TypeLDP: "LDP",
+		TypeGroupMgmt: "GroupMgmt", Type(0x1234): "0x1234",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint16(typ), got, want)
+		}
+	}
+}

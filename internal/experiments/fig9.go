@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"portland/internal/faults"
+	"portland/internal/metrics"
+	"portland/internal/topo"
+	"portland/internal/workload"
+)
+
+// Fig9Mode selects what gets failed.
+type Fig9Mode int
+
+// Failure modes: individual links (the paper's Figure 9), or whole
+// aggregation/core switches (which the paper treats as the
+// simultaneous failure of all their links).
+const (
+	FailLinks Fig9Mode = iota
+	FailSwitches
+)
+
+// Fig9Config parameterizes the UDP-convergence experiment (paper
+// Fig. 9: "Convergence time with increasing faults").
+type Fig9Config struct {
+	Rig             Rig
+	Mode            Fig9Mode
+	MaxFaults       int           // x-axis: 1..MaxFaults simultaneous failures
+	Trials          int           // repetitions per fault count
+	ProbeEvery      time.Duration // UDP probe interval (paper-style CBR)
+	MeasureRecovery bool          // also measure convergence after restoration
+}
+
+// DefaultFig9 matches the paper's sweep: up to 16 random failures.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Rig:             DefaultRig(),
+		MaxFaults:       16,
+		Trials:          5,
+		ProbeEvery:      1 * time.Millisecond,
+		MeasureRecovery: true,
+	}
+}
+
+// Fig9Row is one x-axis point.
+type Fig9Row struct {
+	Faults   int
+	Trials   int             // trials that found a routability-preserving sample
+	Failure  metrics.Summary // convergence after failure, ms
+	Recovery metrics.Summary // convergence after restoration, ms
+	Affected int             // flows that saw any interruption
+	Dead     int             // flows that never recovered (should be 0)
+}
+
+// Fig9Result is the full series.
+type Fig9Result struct {
+	Cfg  Fig9Config
+	Rows []Fig9Row
+}
+
+// RunFig9 reproduces Figure 9: permutation UDP probe flows, n random
+// simultaneous link failures (connectivity-preserving, as in the
+// paper), convergence = interruption seen by affected receivers.
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	res := &Fig9Result{Cfg: cfg}
+	for n := 1; n <= cfg.MaxFaults; n++ {
+		var failMs, recMs []float64
+		affected, dead, feasible := 0, 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rig := cfg.Rig
+			rig.Seed = cfg.Rig.Seed + uint64(n*1000+trial)
+			f, err := rig.build()
+			if err != nil {
+				return nil, err
+			}
+			hosts := f.HostList()
+			perm := workload.Permutation(f.Eng.Rand(), len(hosts))
+			flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+			f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
+
+			var links []int
+			var crashed []topo.NodeID
+			var ok bool
+			if cfg.Mode == FailSwitches {
+				crashed, ok = faults.PickConnectedSwitches(f.Eng.Rand(), f, n)
+			} else {
+				links, ok = faults.PickConnected(f.Eng.Rand(), f, n)
+			}
+			if !ok {
+				continue
+			}
+			feasible++
+			failAt := f.Eng.Now()
+			if cfg.Mode == FailSwitches {
+				faults.CrashAll(f, crashed)
+			} else {
+				faults.FailAll(f, links)
+			}
+			f.RunFor(1 * time.Second)
+
+			for _, fl := range flows {
+				conv, recovered := fl.RX.ConvergenceAfter(failAt, cfg.ProbeEvery)
+				if !recovered {
+					dead++
+					continue
+				}
+				if conv > 2*cfg.ProbeEvery {
+					affected++
+					failMs = append(failMs, metrics.Ms(conv))
+				}
+			}
+
+			if cfg.MeasureRecovery {
+				restoreAt := f.Eng.Now()
+				if cfg.Mode == FailSwitches {
+					faults.RecoverAll(f, crashed)
+				} else {
+					faults.RestoreAll(f, links)
+				}
+				f.RunFor(1 * time.Second)
+				for _, fl := range flows {
+					conv, recovered := fl.RX.ConvergenceAfter(restoreAt, cfg.ProbeEvery)
+					if recovered && conv > 2*cfg.ProbeEvery {
+						recMs = append(recMs, metrics.Ms(conv))
+					}
+				}
+			}
+			for _, fl := range flows {
+				fl.Stop()
+			}
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Faults:   n,
+			Trials:   feasible,
+			Failure:  metrics.Summarize(failMs),
+			Recovery: metrics.Summarize(recMs),
+			Affected: affected,
+			Dead:     dead,
+		})
+	}
+	return res, nil
+}
+
+// Print emits the series as the paper's figure would tabulate it.
+func (r *Fig9Result) Print(w io.Writer) {
+	what := "link"
+	if r.Cfg.Mode == FailSwitches {
+		what = "switch (aggregation/core)"
+	}
+	fprintf(w, "Figure 9 — UDP convergence time vs number of random %s failures\n", what)
+	fprintf(w, "(k=%d fat tree, %d trials/point, probe interval %v)\n", r.Cfg.Rig.K, r.Cfg.Trials, r.Cfg.ProbeEvery)
+	hr(w)
+	fprintf(w, "%8s  %28s  %28s  %9s %5s\n", "faults", "failure convergence (ms)", "recovery convergence (ms)", "affected", "dead")
+	fprintf(w, "%8s  %8s %9s %9s  %8s %9s %9s\n", "", "median", "mean", "max", "median", "mean", "max")
+	for _, row := range r.Rows {
+		if row.Trials == 0 {
+			fprintf(w, "%8d  (no failure set of this size preserves routability at this k)\n", row.Faults)
+			continue
+		}
+		fprintf(w, "%8d  %8.1f %9.1f %9.1f  %8.1f %9.1f %9.1f  %9d %5d\n",
+			row.Faults,
+			row.Failure.Median, row.Failure.Mean, row.Failure.Max,
+			row.Recovery.Median, row.Recovery.Mean, row.Recovery.Max,
+			row.Affected, row.Dead)
+	}
+	fmt.Fprintln(w)
+}

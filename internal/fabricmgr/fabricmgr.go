@@ -1,0 +1,614 @@
+// Package fabricmgr implements PortLand's logically centralized fabric
+// manager (paper §3): soft state only — an IP → PMAC registry fed by
+// edge-switch registrations, a topology graph and fault matrix fed by
+// switch port reports, and multicast group state fed by joins. It
+// answers proxy-ARP queries, assigns pod numbers, reacts to faults by
+// pushing targeted route exclusions to affected switches, computes
+// multicast trees, and drives VM-migration invalidations.
+//
+// The manager is transport-agnostic: each switch connects over a
+// ctrlnet.Conn (in-simulator pipe or real TCP), and all state can be
+// rebuilt from the network, as the paper requires of soft state.
+package fabricmgr
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/ether"
+)
+
+// Counters tracks manager load for the scalability experiments.
+type Counters struct {
+	ARPQueries    int64
+	ARPHits       int64
+	ARPMisses     int64
+	Registrations int64
+	Migrations    int64
+	FaultEvents   int64
+	ExclusionsSet int64
+	McastInstalls int64
+	DHCPQueries   int64
+}
+
+type hostRecord struct {
+	amac ether.Addr
+	pmac ether.Addr
+	edge ctrlmsg.SwitchID
+}
+
+// pairKey identifies a switch pair (at most one physical link between
+// any two switches, as in the fat tree).
+type pairKey struct {
+	lo, hi ctrlmsg.SwitchID
+}
+
+func mkPair(a, b ctrlmsg.SwitchID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// linkState is one graph edge assembled from both endpoints' reports.
+type linkState struct {
+	lo, hi         ctrlmsg.SwitchID
+	loPort, hiPort int // -1 until that side reports
+	loUp, hiUp     bool
+}
+
+func (l *linkState) up() bool { return l.loUp && l.hiUp }
+
+func (l *linkState) portOf(id ctrlmsg.SwitchID) int {
+	if id == l.lo {
+		return l.loPort
+	}
+	return l.hiPort
+}
+
+func (l *linkState) other(id ctrlmsg.SwitchID) ctrlmsg.SwitchID {
+	if id == l.lo {
+		return l.hi
+	}
+	return l.lo
+}
+
+type exclKey struct {
+	via ctrlmsg.SwitchID
+	pod uint16
+	pos uint8
+}
+
+type member struct {
+	edge ctrlmsg.SwitchID
+	src  bool
+}
+
+type group struct {
+	members map[ether.Addr]member // PMAC addr -> membership
+	// installed output ports per switch for diffing.
+	installed map[ctrlmsg.SwitchID][]uint8
+}
+
+// Manager is the fabric manager. Safe for concurrent sessions (the
+// TCP transport calls from multiple goroutines).
+type Manager struct {
+	mu sync.Mutex
+
+	conns map[ctrlmsg.SwitchID]ctrlnet.Conn
+	locs  map[ctrlmsg.SwitchID]ctrlmsg.Loc
+
+	ips map[netip.Addr]hostRecord
+
+	links map[pairKey]*linkState
+
+	excl map[ctrlmsg.SwitchID]map[exclKey]bool
+
+	groups map[uint32]*group
+
+	// DHCP leases: MAC -> assigned IP (idempotent re-discovery).
+	leases    map[ether.Addr]netip.Addr
+	nextLease uint32
+
+	// downLinks counts graph edges currently down — the fast-path
+	// guard that keeps bootstrap (thousands of adjacency reports,
+	// zero faults) from re-running the exclusion cascade every time.
+	downLinks int
+
+	nextPod uint16
+
+	// Stats is the manager's counter block.
+	Stats Counters
+}
+
+// New returns an empty manager.
+func New() *Manager {
+	return &Manager{
+		conns:  make(map[ctrlmsg.SwitchID]ctrlnet.Conn),
+		locs:   make(map[ctrlmsg.SwitchID]ctrlmsg.Loc),
+		ips:    make(map[netip.Addr]hostRecord),
+		links:  make(map[pairKey]*linkState),
+		excl:   make(map[ctrlmsg.SwitchID]map[exclKey]bool),
+		groups: make(map[uint32]*group),
+		leases: make(map[ether.Addr]netip.Addr),
+	}
+}
+
+// Session binds one switch's control connection to the manager.
+// Create it, then use its Handle method as the connection's receive
+// handler.
+type Session struct {
+	mgr  *Manager
+	conn ctrlnet.Conn
+	id   ctrlmsg.SwitchID
+	have bool
+}
+
+// NewSession creates a session for a yet-unidentified switch; the
+// first Hello on the channel binds it.
+func (m *Manager) NewSession(conn ctrlnet.Conn) *Session {
+	return &Session{mgr: m, conn: conn}
+}
+
+// Handle processes one message from this session's switch.
+func (s *Session) Handle(msg ctrlmsg.Msg) {
+	m := s.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := msg.(ctrlmsg.Hello); ok {
+		s.id = h.Switch
+		s.have = true
+		m.conns[h.Switch] = s.conn
+		return
+	}
+	if !s.have {
+		return // protocol violation: everything after Hello
+	}
+	switch v := msg.(type) {
+	case ctrlmsg.LocationReport:
+		m.locs[v.Switch] = v.Loc
+		m.recomputeRoutes()
+	case ctrlmsg.PodRequest:
+		pod := m.nextPod
+		m.nextPod++
+		m.send(v.Switch, ctrlmsg.PodAssign{Pod: pod})
+	case ctrlmsg.PMACRegister:
+		m.register(v)
+	case ctrlmsg.ARPQuery:
+		m.handleARP(v)
+	case ctrlmsg.FaultNotify:
+		m.handleFault(v)
+	case ctrlmsg.McastJoin:
+		m.handleJoin(v)
+	case ctrlmsg.DHCPQuery:
+		m.handleDHCP(v)
+	}
+}
+
+func (m *Manager) send(id ctrlmsg.SwitchID, msg ctrlmsg.Msg) {
+	if c, ok := m.conns[id]; ok {
+		_ = c.Send(msg)
+	}
+}
+
+// register installs or updates an IP mapping; a changed PMAC for a
+// known IP is a VM migration (paper §3.4).
+func (m *Manager) register(v ctrlmsg.PMACRegister) {
+	m.Stats.Registrations++
+	prev, existed := m.ips[v.IP]
+	if existed && prev.pmac == v.PMAC {
+		return
+	}
+	m.ips[v.IP] = hostRecord{amac: v.AMAC, pmac: v.PMAC, edge: v.Switch}
+	if !existed {
+		return
+	}
+	m.Stats.Migrations++
+	// Tell the old edge switch so it can invalidate stale caches.
+	if prev.edge != v.Switch || prev.pmac != v.PMAC {
+		m.send(prev.edge, ctrlmsg.MigrationUpdate{IP: v.IP, OldPMAC: prev.pmac, NewPMAC: v.PMAC})
+	}
+	// Multicast membership follows the VM.
+	changed := false
+	for _, g := range m.groups {
+		if mem, ok := g.members[prev.pmac]; ok {
+			delete(g.members, prev.pmac)
+			g.members[v.PMAC] = member{edge: v.Switch, src: mem.src}
+			changed = true
+		}
+	}
+	if changed {
+		m.recomputeGroups()
+	}
+}
+
+// handleARP is the proxy-ARP service (paper §3.3): answer from the
+// registry, or fall back to a broadcast on every edge switch's host
+// ports.
+func (m *Manager) handleARP(v ctrlmsg.ARPQuery) {
+	m.Stats.ARPQueries++
+	if rec, ok := m.ips[v.TargetIP]; ok {
+		m.Stats.ARPHits++
+		m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: true, TargetIP: v.TargetIP, PMAC: rec.pmac})
+		return
+	}
+	m.Stats.ARPMisses++
+	m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: false, TargetIP: v.TargetIP})
+	flood := ctrlmsg.ARPFlood{QueryID: v.QueryID, SenderPMAC: v.SenderPMAC, SenderIP: v.SenderIP, TargetIP: v.TargetIP}
+	for id, loc := range m.locs {
+		if loc.Level == ctrlmsg.LevelEdge {
+			m.send(id, flood)
+		}
+	}
+}
+
+// handleFault merges a port report into the graph and fault matrix,
+// then recomputes routing exclusions and multicast trees.
+func (m *Manager) handleFault(v ctrlmsg.FaultNotify) {
+	if v.PeerID == v.Switch {
+		return
+	}
+	key := mkPair(v.Switch, v.PeerID)
+	l, ok := m.links[key]
+	if !ok {
+		l = &linkState{lo: key.lo, hi: key.hi, loPort: -1, hiPort: -1, loUp: true, hiUp: true}
+		m.links[key] = l
+	}
+	wasUp := l.up()
+	if v.Switch == l.lo {
+		l.loPort = int(v.Port)
+		l.loUp = !v.Down
+	} else {
+		l.hiPort = int(v.Port)
+		l.hiUp = !v.Down
+	}
+	if wasUp != l.up() {
+		if l.up() {
+			m.downLinks--
+		} else {
+			m.downLinks++
+		}
+	}
+	m.locs[v.Switch] = v.LocalLoc
+	if _, known := m.locs[v.PeerID]; !known || v.PeerLoc.Level != ctrlmsg.LevelUnknown {
+		m.locs[v.PeerID] = v.PeerLoc
+	}
+	if v.Down {
+		m.Stats.FaultEvents++
+	}
+	m.recomputeRoutes()
+	m.recomputeGroups()
+}
+
+// handleJoin updates group membership and reinstalls the tree.
+func (m *Manager) handleJoin(v ctrlmsg.McastJoin) {
+	g, ok := m.groups[v.Group]
+	if !ok {
+		g = &group{members: make(map[ether.Addr]member), installed: make(map[ctrlmsg.SwitchID][]uint8)}
+		m.groups[v.Group] = g
+	}
+	if v.Join {
+		g.members[v.HostPMAC] = member{edge: v.Switch, src: v.Source}
+	} else {
+		delete(g.members, v.HostPMAC)
+	}
+	m.installGroup(v.Group, g)
+}
+
+// handleDHCP leases an address: stable per client MAC, allocated
+// from 10.200.0.0/16 (outside the static experiment range).
+func (m *Manager) handleDHCP(v ctrlmsg.DHCPQuery) {
+	m.Stats.DHCPQueries++
+	ip, ok := m.leases[v.ClientMAC]
+	if !ok {
+		m.nextLease++
+		n := m.nextLease
+		ip = netip.AddrFrom4([4]byte{10, 200, byte(n >> 8), byte(n)})
+		m.leases[v.ClientMAC] = ip
+	}
+	m.send(v.Switch, ctrlmsg.DHCPAnswer{QueryID: v.QueryID, XID: v.XID, IP: ip})
+}
+
+// Leases returns the number of DHCP leases handed out.
+func (m *Manager) Leases() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.leases)
+}
+
+// NumHosts returns the registry size.
+func (m *Manager) NumHosts() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ips)
+}
+
+// Lookup resolves an IP from the registry (for tests and tools).
+func (m *Manager) Lookup(ip netip.Addr) (ether.Addr, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.ips[ip]
+	return rec.pmac, ok
+}
+
+// Locations returns a copy of the location table.
+func (m *Manager) Locations() map[ctrlmsg.SwitchID]ctrlmsg.Loc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[ctrlmsg.SwitchID]ctrlmsg.Loc, len(m.locs))
+	for k, v := range m.locs {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedSwitchIDs returns the known switches in ID order for
+// deterministic iteration.
+func (m *Manager) sortedSwitchIDs() []ctrlmsg.SwitchID {
+	ids := make([]ctrlmsg.SwitchID, 0, len(m.locs))
+	for id := range m.locs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// linksOf returns the graph edges incident to id, sorted by peer.
+func (m *Manager) linksOf(id ctrlmsg.SwitchID) []*linkState {
+	var out []*linkState
+	for _, l := range m.links {
+		if l.lo == id || l.hi == id {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].other(id) < out[j].other(id) })
+	return out
+}
+
+// isCore/isAgg/isEdge classify by the last reported location.
+func (m *Manager) level(id ctrlmsg.SwitchID) uint8 { return m.locs[id].Level }
+
+// recomputeRoutes derives the full desired exclusion set from the
+// fault matrix (paper §3.5) and pushes deltas to affected switches.
+//
+// Reachability cascades down the tree:
+//
+//  1. A core can deliver to pod P (or to edge position q in P) only
+//     through its aggregation neighbors in P with live links; when
+//     observed faults sever them all, every aggregation switch that
+//     might pick that core for P (or (P,q)) is told to exclude it.
+//  2. An aggregation switch in pod Q can deliver to a remote (P,q)
+//     only through cores that can; when all of its cores are severed
+//     (e.g. the whole core group's descent into P runs through one
+//     failed aggregation switch), the edges below it are told to
+//     exclude it for (P,q).
+//  3. Within pod P, an aggregation switch that lost its link to the
+//     edge at position q is excluded by P's other edges for (P,q).
+//
+// Exclusions are derived only from observed faults: unknown adjacency
+// is assumed healthy, so an incompletely-discovered fabric never
+// blackholes itself.
+func (m *Manager) recomputeRoutes() {
+	// Fast path: a healthy fault matrix implies an empty exclusion
+	// set; if none are installed either, there is nothing to diff.
+	// This is what keeps the manager O(1) under the storm of
+	// adjacency reports a booting fabric produces.
+	if m.downLinks == 0 && len(m.excl) == 0 {
+		return
+	}
+	desired := make(map[ctrlmsg.SwitchID]map[exclKey]bool)
+	add := func(target ctrlmsg.SwitchID, k exclKey) {
+		s, ok := desired[target]
+		if !ok {
+			s = make(map[exclKey]bool)
+			desired[target] = s
+		}
+		s[k] = true
+	}
+
+	ids := m.sortedSwitchIDs()
+
+	// Indexes.
+	podEdges := make(map[uint16][]ctrlmsg.SwitchID)
+	var aggs, cores []ctrlmsg.SwitchID
+	for _, id := range ids {
+		switch m.level(id) {
+		case ctrlmsg.LevelEdge:
+			podEdges[m.locs[id].Pod] = append(podEdges[m.locs[id].Pod], id)
+		case ctrlmsg.LevelAggregation:
+			aggs = append(aggs, id)
+		case ctrlmsg.LevelCore:
+			cores = append(cores, id)
+		}
+	}
+
+	linkState2 := func(a, b ctrlmsg.SwitchID) (up, known bool) {
+		l, ok := m.links[mkPair(a, b)]
+		if !ok {
+			return false, false
+		}
+		return l.up(), true
+	}
+	// Per-switch sorted neighbor lists by level.
+	neighborsOf := func(id ctrlmsg.SwitchID, level uint8) []ctrlmsg.SwitchID {
+		var out []ctrlmsg.SwitchID
+		for _, l := range m.linksOf(id) {
+			n := l.other(id)
+			if m.level(n) == level {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	type podPos struct {
+		pod uint16
+		pos uint8
+	}
+	// Tier 1: core reachability.
+	coreReachPod := make(map[ctrlmsg.SwitchID]map[uint16]bool)
+	coreReachPos := make(map[ctrlmsg.SwitchID]map[podPos]bool)
+	for _, c := range cores {
+		aggsByPod := make(map[uint16][]ctrlmsg.SwitchID)
+		for _, a := range neighborsOf(c, ctrlmsg.LevelAggregation) {
+			aggsByPod[m.locs[a].Pod] = append(aggsByPod[m.locs[a].Pod], a)
+		}
+		coreReachPod[c] = make(map[uint16]bool)
+		coreReachPos[c] = make(map[podPos]bool)
+		for pod, as := range aggsByPod {
+			anyUp := false
+			for _, a := range as {
+				if up, _ := linkState2(c, a); up {
+					anyUp = true
+					break
+				}
+			}
+			coreReachPod[c][pod] = anyUp
+			for _, e := range podEdges[pod] {
+				q := m.locs[e].Pos
+				reach := false
+				for _, a := range as {
+					cu, _ := linkState2(c, a)
+					if !cu {
+						continue
+					}
+					if up, known := linkState2(a, e); up || !known {
+						reach = true
+						break
+					}
+				}
+				coreReachPos[c][podPos{pod, q}] = reach
+			}
+		}
+	}
+	// Push tier-1 exclusions to aggregation switches adjacent to each
+	// core (pods other than the destination).
+	for _, c := range cores {
+		neigh := neighborsOf(c, ctrlmsg.LevelAggregation)
+		for pod, ok := range coreReachPod[c] {
+			if ok {
+				continue
+			}
+			for _, n := range neigh {
+				if m.locs[n].Pod != pod {
+					add(n, exclKey{via: c, pod: pod, pos: ctrlmsg.AnyPos})
+				}
+			}
+		}
+		for pp, ok := range coreReachPos[c] {
+			if ok || !coreReachPod[c][pp.pod] {
+				continue // pod-wide exclusion already covers it
+			}
+			for _, n := range neigh {
+				if m.locs[n].Pod != pp.pod {
+					add(n, exclKey{via: c, pod: pp.pod, pos: pp.pos})
+				}
+			}
+		}
+	}
+
+	// Unknown adjacency reads as reachable: a core we have never seen
+	// linked into a pod must not be excluded (bootstrap safety).
+	corePodReach := func(c ctrlmsg.SwitchID, pod uint16) bool {
+		v, known := coreReachPod[c][pod]
+		return v || !known
+	}
+	corePosReach := func(c ctrlmsg.SwitchID, pp podPos) bool {
+		v, known := coreReachPos[c][pp]
+		return v || !known
+	}
+
+	// Tier 2: aggregation reachability toward remote (pod, pos), and
+	// the edge-level exclusions it implies.
+	for _, x := range aggs {
+		xPod := m.locs[x].Pod
+		coreLinks := neighborsOf(x, ctrlmsg.LevelCore)
+		if len(coreLinks) == 0 {
+			continue // adjacency not yet discovered; assume healthy
+		}
+		edgesBelow := neighborsOf(x, ctrlmsg.LevelEdge)
+		for pod, es := range podEdges {
+			if pod == xPod {
+				continue
+			}
+			podReach := false
+			for _, c := range coreLinks {
+				if up, _ := linkState2(x, c); up && corePodReach(c, pod) {
+					podReach = true
+					break
+				}
+			}
+			if !podReach {
+				for _, e := range edgesBelow {
+					add(e, exclKey{via: x, pod: pod, pos: ctrlmsg.AnyPos})
+				}
+				continue
+			}
+			for _, dst := range es {
+				q := m.locs[dst].Pos
+				reach := false
+				for _, c := range coreLinks {
+					if up, _ := linkState2(x, c); up && corePosReach(c, podPos{pod, q}) {
+						reach = true
+						break
+					}
+				}
+				if !reach {
+					for _, e := range edgesBelow {
+						add(e, exclKey{via: x, pod: pod, pos: q})
+					}
+				}
+			}
+		}
+	}
+
+	// Tier 3: intra-pod position exclusions.
+	for _, a := range aggs {
+		pod := m.locs[a].Pod
+		for _, e := range podEdges[pod] {
+			up, known := linkState2(a, e)
+			if !known || up {
+				continue
+			}
+			q := m.locs[e].Pos
+			for _, x := range podEdges[pod] {
+				if x != e {
+					add(x, exclKey{via: a, pod: pod, pos: q})
+				}
+			}
+		}
+	}
+
+	// Diff against installed state and push deltas.
+	targets := make(map[ctrlmsg.SwitchID]bool)
+	for id := range desired {
+		targets[id] = true
+	}
+	for id := range m.excl {
+		targets[id] = true
+	}
+	tids := make([]ctrlmsg.SwitchID, 0, len(targets))
+	for id := range targets {
+		tids = append(tids, id)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, id := range tids {
+		want := desired[id]
+		have := m.excl[id]
+		for k := range want {
+			if !have[k] {
+				m.Stats.ExclusionsSet++
+				m.send(id, ctrlmsg.RouteExclude{Add: true, Via: k.via, DstPod: k.pod, DstPos: k.pos})
+			}
+		}
+		for k := range have {
+			if !want[k] {
+				m.send(id, ctrlmsg.RouteExclude{Add: false, Via: k.via, DstPod: k.pod, DstPos: k.pos})
+			}
+		}
+	}
+	m.excl = desired
+}

@@ -1,0 +1,382 @@
+package fabricmgr
+
+import (
+	"net/netip"
+	"testing"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/ether"
+	"portland/internal/pmac"
+)
+
+// recConn records everything the manager sends to one switch.
+type recConn struct {
+	msgs []ctrlmsg.Msg
+}
+
+func (c *recConn) Send(m ctrlmsg.Msg) error { c.msgs = append(c.msgs, m); return nil }
+func (c *recConn) Close() error             { return nil }
+func (c *recConn) Stats() ctrlnet.Stats     { return ctrlnet.Stats{} }
+
+func (c *recConn) excludes() map[ctrlmsg.RouteExclude]bool {
+	set := make(map[ctrlmsg.RouteExclude]bool)
+	for _, m := range c.msgs {
+		if re, ok := m.(ctrlmsg.RouteExclude); ok {
+			if re.Add {
+				set[ctrlmsg.RouteExclude{Add: true, Via: re.Via, DstPod: re.DstPod, DstPos: re.DstPos}] = true
+			} else {
+				delete(set, ctrlmsg.RouteExclude{Add: true, Via: re.Via, DstPod: re.DstPod, DstPos: re.DstPos})
+			}
+		}
+	}
+	return set
+}
+
+func (c *recConn) lastInstall(group uint32) ([]uint8, bool) {
+	var out []uint8
+	found := false
+	for _, m := range c.msgs {
+		if mi, ok := m.(ctrlmsg.McastInstall); ok && mi.Group == group {
+			out = mi.OutPorts
+			found = true
+		}
+	}
+	return out, found
+}
+
+// rig builds a manager with a hand-wired k=4-style topology slice:
+// two pods × (2 edges + 2 aggs) and 4 cores, all adjacency reported.
+//
+// IDs: pod0 edges 1,2; pod0 aggs 3,4; pod1 edges 5,6; pod1 aggs 7,8;
+// cores 9,10 (group 0 → aggs 3,7), 11,12 (group 1 → aggs 4,8).
+type rig struct {
+	m     *Manager
+	conns map[ctrlmsg.SwitchID]*recConn
+	sess  map[ctrlmsg.SwitchID]*Session
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{m: New(), conns: map[ctrlmsg.SwitchID]*recConn{}, sess: map[ctrlmsg.SwitchID]*Session{}}
+	locs := map[ctrlmsg.SwitchID]ctrlmsg.Loc{
+		1:  {Level: ctrlmsg.LevelEdge, Pod: 0, Pos: 0},
+		2:  {Level: ctrlmsg.LevelEdge, Pod: 0, Pos: 1},
+		3:  {Level: ctrlmsg.LevelAggregation, Pod: 0, Pos: 0xff},
+		4:  {Level: ctrlmsg.LevelAggregation, Pod: 0, Pos: 0xff},
+		5:  {Level: ctrlmsg.LevelEdge, Pod: 1, Pos: 0},
+		6:  {Level: ctrlmsg.LevelEdge, Pod: 1, Pos: 1},
+		7:  {Level: ctrlmsg.LevelAggregation, Pod: 1, Pos: 0xff},
+		8:  {Level: ctrlmsg.LevelAggregation, Pod: 1, Pos: 0xff},
+		9:  {Level: ctrlmsg.LevelCore, Pod: pmac.CorePod, Pos: 0xff},
+		10: {Level: ctrlmsg.LevelCore, Pod: pmac.CorePod, Pos: 0xff},
+		11: {Level: ctrlmsg.LevelCore, Pod: pmac.CorePod, Pos: 0xff},
+		12: {Level: ctrlmsg.LevelCore, Pod: pmac.CorePod, Pos: 0xff},
+	}
+	for id, loc := range locs {
+		c := &recConn{}
+		s := r.m.NewSession(c)
+		s.Handle(ctrlmsg.Hello{Switch: id})
+		s.Handle(ctrlmsg.LocationReport{Switch: id, Loc: loc})
+		r.conns[id] = c
+		r.sess[id] = s
+	}
+	// Adjacency, reported from both ends: port numbers follow the
+	// fat-tree convention (edge up ports 2,3; agg down 0,1 up 2,3;
+	// core port = pod).
+	report := func(a ctrlmsg.SwitchID, ap uint8, b ctrlmsg.SwitchID, bp uint8) {
+		r.sess[a].Handle(ctrlmsg.FaultNotify{Switch: a, Port: ap, Down: false, PeerID: b, PeerLoc: locs[b], LocalLoc: locs[a]})
+		r.sess[b].Handle(ctrlmsg.FaultNotify{Switch: b, Port: bp, Down: false, PeerID: a, PeerLoc: locs[a], LocalLoc: locs[b]})
+	}
+	// pod 0
+	report(1, 2, 3, 0)
+	report(1, 3, 4, 0)
+	report(2, 2, 3, 1)
+	report(2, 3, 4, 1)
+	// pod 1
+	report(5, 2, 7, 0)
+	report(5, 3, 8, 0)
+	report(6, 2, 7, 1)
+	report(6, 3, 8, 1)
+	// agg-core (core group 0: 9,10 on agg pos 0; group 1: 11,12)
+	report(3, 2, 9, 0)
+	report(3, 3, 10, 0)
+	report(7, 2, 9, 1)
+	report(7, 3, 10, 1)
+	report(4, 2, 11, 0)
+	report(4, 3, 12, 0)
+	report(8, 2, 11, 1)
+	report(8, 3, 12, 1)
+	return r
+}
+
+func (r *rig) fail(a ctrlmsg.SwitchID, ap uint8, b ctrlmsg.SwitchID, bp uint8) {
+	r.sess[a].Handle(ctrlmsg.FaultNotify{Switch: a, Port: ap, Down: true, PeerID: b, LocalLoc: r.m.locs[a], PeerLoc: r.m.locs[b]})
+	r.sess[b].Handle(ctrlmsg.FaultNotify{Switch: b, Port: bp, Down: true, PeerID: a, LocalLoc: r.m.locs[b], PeerLoc: r.m.locs[a]})
+}
+
+func (r *rig) restore(a ctrlmsg.SwitchID, ap uint8, b ctrlmsg.SwitchID, bp uint8) {
+	r.sess[a].Handle(ctrlmsg.FaultNotify{Switch: a, Port: ap, Down: false, PeerID: b, LocalLoc: r.m.locs[a], PeerLoc: r.m.locs[b]})
+	r.sess[b].Handle(ctrlmsg.FaultNotify{Switch: b, Port: bp, Down: false, PeerID: a, LocalLoc: r.m.locs[b], PeerLoc: r.m.locs[a]})
+}
+
+func TestNoExclusionsOnHealthyFabric(t *testing.T) {
+	r := newRig(t)
+	for id, c := range r.conns {
+		if n := len(c.excludes()); n != 0 {
+			t.Errorf("switch %d holds %d exclusions on a healthy fabric", id, n)
+		}
+	}
+}
+
+func TestPodAssignmentSequential(t *testing.T) {
+	r := newRig(t)
+	r.sess[1].Handle(ctrlmsg.PodRequest{Switch: 1})
+	r.sess[5].Handle(ctrlmsg.PodRequest{Switch: 5})
+	p1, ok1 := lastPodAssign(r.conns[1])
+	p5, ok5 := lastPodAssign(r.conns[5])
+	if !ok1 || !ok5 || p1 == p5 {
+		t.Fatalf("pod assignments %d,%d (ok %v,%v)", p1, p5, ok1, ok5)
+	}
+}
+
+func lastPodAssign(c *recConn) (uint16, bool) {
+	for i := len(c.msgs) - 1; i >= 0; i-- {
+		if pa, ok := c.msgs[i].(ctrlmsg.PodAssign); ok {
+			return pa.Pod, true
+		}
+	}
+	return 0, false
+}
+
+func TestAggCoreFailureExclusions(t *testing.T) {
+	r := newRig(t)
+	// Kill agg3(pod0) <-> core9. Core 9's only descent into pod 0 is
+	// gone, so aggs in other pods adjacent to 9 (only agg 7) must
+	// avoid it for pod 0, any position.
+	r.fail(3, 2, 9, 0)
+	ex7 := r.conns[7].excludes()
+	if !ex7[ctrlmsg.RouteExclude{Add: true, Via: 9, DstPod: 0, DstPos: ctrlmsg.AnyPos}] {
+		t.Fatalf("agg 7 not told to avoid core 9 for pod 0: %v", ex7)
+	}
+	// Pod-0's own switches need no exclusions (local LDP handles it).
+	for _, id := range []ctrlmsg.SwitchID{1, 2, 3, 4} {
+		if n := len(r.conns[id].excludes()); n != 0 {
+			t.Errorf("pod-0 switch %d got %d exclusions", id, n)
+		}
+	}
+	// Pod-1 edges are unaffected (agg 7 still reaches pod 0 via 10).
+	for _, id := range []ctrlmsg.SwitchID{5, 6} {
+		if n := len(r.conns[id].excludes()); n != 0 {
+			t.Errorf("edge %d got %d exclusions", id, n)
+		}
+	}
+	// Recovery retracts.
+	r.restore(3, 2, 9, 0)
+	if n := len(r.conns[7].excludes()); n != 0 {
+		t.Fatalf("exclusions not retracted after recovery: %v", r.conns[7].excludes())
+	}
+}
+
+func TestEdgeAggFailureCascade(t *testing.T) {
+	r := newRig(t)
+	// Kill edge5(pod1,pos0) <-> agg7. Consequences:
+	//  (a) edge 6 must avoid agg 7 for (pod1,pos0);
+	//  (b) cores 9,10 (descend into pod1 only via 7) cannot reach
+	//      (pod1,pos0), so agg 3 (their pod-0 neighbor) must avoid
+	//      them for (pod1,pos0);
+	//  (c) pod-0 edges must avoid agg 3 for (pod1,pos0) only if agg 3
+	//      has no usable core — NOT the case here... agg 3's cores are
+	//      9,10, both unable to reach (1,0), so edges 1,2 MUST avoid
+	//      agg 3 for (1,0) and route via agg 4 (cores 11,12 → agg 8).
+	r.fail(5, 2, 7, 0)
+	ex6 := r.conns[6].excludes()
+	if !ex6[ctrlmsg.RouteExclude{Add: true, Via: 7, DstPod: 1, DstPos: 0}] {
+		t.Errorf("edge 6 not steered off agg 7 for (1,0): %v", ex6)
+	}
+	ex3 := r.conns[3].excludes()
+	if !ex3[ctrlmsg.RouteExclude{Add: true, Via: 9, DstPod: 1, DstPos: 0}] ||
+		!ex3[ctrlmsg.RouteExclude{Add: true, Via: 10, DstPod: 1, DstPos: 0}] {
+		t.Errorf("agg 3 not steered off cores 9,10 for (1,0): %v", ex3)
+	}
+	for _, e := range []ctrlmsg.SwitchID{1, 2} {
+		ex := r.conns[e].excludes()
+		if !ex[ctrlmsg.RouteExclude{Add: true, Via: 3, DstPod: 1, DstPos: 0}] {
+			t.Errorf("edge %d not steered off agg 3 for (1,0): %v", e, ex)
+		}
+		// Position 1 of pod 1 is still fine via agg 3.
+		if ex[ctrlmsg.RouteExclude{Add: true, Via: 3, DstPod: 1, DstPos: 1}] {
+			t.Errorf("edge %d over-excluded for (1,1)", e)
+		}
+	}
+	// Recovery retracts everything.
+	r.restore(5, 2, 7, 0)
+	for id, c := range r.conns {
+		if n := len(c.excludes()); n != 0 {
+			t.Errorf("switch %d keeps %d exclusions after recovery", id, n)
+		}
+	}
+}
+
+func TestARPQueryHitAndMiss(t *testing.T) {
+	r := newRig(t)
+	ip := netip.MustParseAddr("10.0.0.1")
+	pm := ether.Addr{0, 0, 0, 0, 0, 1}
+	r.sess[1].Handle(ctrlmsg.PMACRegister{Switch: 1, IP: ip, AMAC: ether.Addr{2, 0, 0, 0, 0, 1}, PMAC: pm})
+	r.sess[6].Handle(ctrlmsg.ARPQuery{Switch: 6, QueryID: 7, TargetIP: ip})
+	found := false
+	for _, m := range r.conns[6].msgs {
+		if a, ok := m.(ctrlmsg.ARPAnswer); ok && a.QueryID == 7 {
+			if !a.Found || a.PMAC != pm {
+				t.Fatalf("answer %+v", a)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no ARP answer")
+	}
+	// Miss: answer not-found and flood to every edge.
+	r.sess[6].Handle(ctrlmsg.ARPQuery{Switch: 6, QueryID: 8, TargetIP: netip.MustParseAddr("10.9.9.9")})
+	for _, e := range []ctrlmsg.SwitchID{1, 2, 5, 6} {
+		got := false
+		for _, m := range r.conns[e].msgs {
+			if fl, ok := m.(ctrlmsg.ARPFlood); ok && fl.QueryID == 8 {
+				got = true
+			}
+		}
+		if !got {
+			t.Errorf("edge %d missed the ARP flood", e)
+		}
+	}
+	for _, sw := range []ctrlmsg.SwitchID{3, 9} {
+		for _, m := range r.conns[sw].msgs {
+			if _, ok := m.(ctrlmsg.ARPFlood); ok {
+				t.Errorf("non-edge switch %d received a flood", sw)
+			}
+		}
+	}
+}
+
+func TestMigrationDetection(t *testing.T) {
+	r := newRig(t)
+	ip := netip.MustParseAddr("10.0.0.5")
+	old := ether.Addr{0, 0, 0, 1, 0, 1}
+	newer := ether.Addr{0, 1, 1, 0, 0, 1}
+	r.sess[1].Handle(ctrlmsg.PMACRegister{Switch: 1, IP: ip, AMAC: ether.Addr{2, 0, 0, 0, 0, 5}, PMAC: old})
+	r.sess[6].Handle(ctrlmsg.PMACRegister{Switch: 6, IP: ip, AMAC: ether.Addr{2, 0, 0, 0, 0, 5}, PMAC: newer})
+	if r.m.Stats.Migrations != 1 {
+		t.Fatalf("migrations %d", r.m.Stats.Migrations)
+	}
+	var mu *ctrlmsg.MigrationUpdate
+	for _, m := range r.conns[1].msgs {
+		if v, ok := m.(ctrlmsg.MigrationUpdate); ok {
+			mu = &v
+		}
+	}
+	if mu == nil || mu.OldPMAC != old || mu.NewPMAC != newer || mu.IP != ip {
+		t.Fatalf("migration update %+v", mu)
+	}
+	// Re-registering the same mapping is idempotent.
+	r.sess[6].Handle(ctrlmsg.PMACRegister{Switch: 6, IP: ip, AMAC: ether.Addr{2, 0, 0, 0, 0, 5}, PMAC: newer})
+	if r.m.Stats.Migrations != 1 {
+		t.Fatal("idempotent re-registration counted as migration")
+	}
+}
+
+func TestMulticastTreeComputation(t *testing.T) {
+	r := newRig(t)
+	const g = 0x77
+	// Receivers behind edges 1 (pod0) and 6 (pod1); source on edge 5.
+	pm := func(pod uint16, pos, port uint8) ether.Addr {
+		return pmac.PMAC{Pod: pod, Position: pos, Port: port, VMID: 1}.Addr()
+	}
+	r.sess[1].Handle(ctrlmsg.McastJoin{Switch: 1, Group: g, HostPMAC: pm(0, 0, 1), Join: true})
+	r.sess[6].Handle(ctrlmsg.McastJoin{Switch: 6, Group: g, HostPMAC: pm(1, 1, 0), Join: true})
+	r.sess[5].Handle(ctrlmsg.McastJoin{Switch: 5, Group: g, HostPMAC: pm(1, 0, 0), Join: true, Source: true})
+
+	// Edges with receivers must have the receiver host port + uplink.
+	p1, ok := r.conns[1].lastInstall(g)
+	if !ok || len(p1) < 2 || !has(p1, 1) {
+		t.Fatalf("edge 1 install %v (want host port 1 + uplink)", p1)
+	}
+	// Source-only edge 5 gets an uplink but no host delivery port...
+	p5, ok := r.conns[5].lastInstall(g)
+	if !ok || len(p5) != 1 {
+		t.Fatalf("edge 5 install %v (want uplink only)", p5)
+	}
+	// Exactly one core carries the group.
+	coresWith := 0
+	for _, c := range []ctrlmsg.SwitchID{9, 10, 11, 12} {
+		if ports, ok := r.conns[c].lastInstall(g); ok && len(ports) == 2 {
+			coresWith++
+		}
+	}
+	if coresWith != 1 {
+		t.Fatalf("%d cores carry the group, want 1 (rendezvous)", coresWith)
+	}
+	// Leave: membership shrinking to one edge removes the fabric legs.
+	r.sess[1].Handle(ctrlmsg.McastJoin{Switch: 1, Group: g, HostPMAC: pm(0, 0, 1), Join: false})
+	r.sess[5].Handle(ctrlmsg.McastJoin{Switch: 5, Group: g, HostPMAC: pm(1, 0, 0), Join: false})
+	p6, _ := r.conns[6].lastInstall(g)
+	if len(p6) != 1 || p6[0] != 0 {
+		t.Fatalf("single-edge group install %v (want host port only)", p6)
+	}
+}
+
+func has(v []uint8, x uint8) bool {
+	for _, e := range v {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMulticastTreeRecomputesAroundFault(t *testing.T) {
+	r := newRig(t)
+	const g = 0x88
+	pm := func(pod uint16, pos, port uint8) ether.Addr {
+		return pmac.PMAC{Pod: pod, Position: pos, Port: port, VMID: 1}.Addr()
+	}
+	r.sess[1].Handle(ctrlmsg.McastJoin{Switch: 1, Group: g, HostPMAC: pm(0, 0, 0), Join: true})
+	r.sess[5].Handle(ctrlmsg.McastJoin{Switch: 5, Group: g, HostPMAC: pm(1, 0, 0), Join: true, Source: true})
+	// Which core carries it?
+	carrier := func() ctrlmsg.SwitchID {
+		for _, c := range []ctrlmsg.SwitchID{9, 10, 11, 12} {
+			if ports, ok := r.conns[c].lastInstall(g); ok && len(ports) > 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	c0 := carrier()
+	if c0 == 0 {
+		t.Fatal("no rendezvous core")
+	}
+	// Fail the carrier's link into pod 0 — the tree must move.
+	var aggSide ctrlmsg.SwitchID = 3
+	var aggPort uint8 = 2
+	var corePort uint8
+	switch c0 {
+	case 9:
+		aggSide, aggPort, corePort = 3, 2, 0
+	case 10:
+		aggSide, aggPort, corePort = 3, 3, 0
+	case 11:
+		aggSide, aggPort, corePort = 4, 2, 0
+	case 12:
+		aggSide, aggPort, corePort = 4, 3, 0
+	}
+	r.fail(aggSide, aggPort, c0, corePort)
+	c1 := carrier()
+	if c1 == 0 {
+		t.Fatal("group went dark after a single link failure")
+	}
+	if c1 == c0 {
+		// Still installed on the dead-linked core: verify its install
+		// was actually replaced (ports may have changed), otherwise
+		// fail.
+		t.Fatalf("tree still rooted at core %d whose pod-0 link is down", c0)
+	}
+}

@@ -1,0 +1,85 @@
+package fabricmgr
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/ether"
+)
+
+// TestManagerOverRealTCP proves the control plane is a genuine wire
+// protocol: a fabric manager served over a net.Pipe TCP transport
+// handles Hello, registration, pod assignment and proxy ARP for a
+// remote "switch" speaking only bytes.
+func TestManagerOverRealTCP(t *testing.T) {
+	m := New()
+
+	mgrSide, swSide := net.Pipe()
+
+	// Manager end: one session per accepted connection, exactly as a
+	// production deployment would serve switches. The session needs
+	// the conn (for replies) and the conn's handler needs the session;
+	// close the loop with a ready gate.
+	ready := make(chan struct{})
+	var sess *Session
+	mgrConn := ctrlnet.NewTCPConn(mgrSide, func(msg ctrlmsg.Msg) {
+		<-ready
+		sess.Handle(msg)
+	})
+	sess = m.NewSession(mgrConn)
+	close(ready)
+
+	var mu sync.Mutex
+	var replies []ctrlmsg.Msg
+	gotReply := make(chan struct{}, 16)
+	swConn := ctrlnet.NewTCPConn(swSide, func(msg ctrlmsg.Msg) {
+		mu.Lock()
+		replies = append(replies, msg)
+		mu.Unlock()
+		gotReply <- struct{}{}
+	})
+	defer swConn.Close()
+	defer mgrConn.Close()
+
+	send := func(msg ctrlmsg.Msg) {
+		t.Helper()
+		if err := swConn.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait := func() ctrlmsg.Msg {
+		t.Helper()
+		select {
+		case <-gotReply:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for manager reply")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return replies[len(replies)-1]
+	}
+
+	send(ctrlmsg.Hello{Switch: 42})
+	send(ctrlmsg.LocationReport{Switch: 42, Loc: ctrlmsg.Loc{Level: ctrlmsg.LevelEdge, Pod: 0, Pos: 0}})
+	send(ctrlmsg.PodRequest{Switch: 42})
+	if pa, ok := wait().(ctrlmsg.PodAssign); !ok {
+		t.Fatalf("want PodAssign, got %T", pa)
+	}
+
+	ip := netip.MustParseAddr("10.1.2.3")
+	pm := ether.Addr{0, 0, 0, 0, 0, 5}
+	send(ctrlmsg.PMACRegister{Switch: 42, IP: ip, AMAC: ether.Addr{2, 0, 0, 0, 0, 5}, PMAC: pm})
+	send(ctrlmsg.ARPQuery{Switch: 42, QueryID: 1, TargetIP: ip})
+	ans, ok := wait().(ctrlmsg.ARPAnswer)
+	if !ok || !ans.Found || ans.PMAC != pm {
+		t.Fatalf("arp answer %+v", ans)
+	}
+	if got, _ := m.Lookup(ip); got != pm {
+		t.Fatal("registry miss after TCP registration")
+	}
+}

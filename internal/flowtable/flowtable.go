@@ -1,0 +1,114 @@
+// Package flowtable is the OpenFlow-style flow cache inside each
+// PortLand switch. The paper's switches forward by exact-match flow
+// entries installed reactively with soft timeouts (OpenFlow 0.8.9);
+// this package reproduces those dynamics: the first packet of a flow
+// takes the slow path (PMAC routing logic), installs an entry, and
+// subsequent packets hit the cache until it expires or the control
+// plane invalidates it after a fault. Table 1's "switch state" is the
+// live entry count.
+package flowtable
+
+import (
+	"time"
+
+	"portland/internal/ether"
+)
+
+// Key identifies a flow: destination PMAC plus the ECMP flow hash
+// (so two flows to the same host can ride different uplinks, exactly
+// like per-flow OpenFlow matches).
+type Key struct {
+	Dst  ether.Addr
+	Hash uint32
+}
+
+// Stats counts table activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Installs      int64
+	Expired       int64
+	Invalidations int64 // whole-table flushes
+}
+
+type entry struct {
+	port    int
+	expires time.Duration
+	hits    int64
+}
+
+// Table is a soft-state flow cache. Not safe for concurrent use (the
+// simulator is single-threaded per switch).
+type Table struct {
+	now     func() time.Duration
+	ttl     time.Duration
+	entries map[Key]*entry
+
+	// Stats is the table's counter block.
+	Stats Stats
+}
+
+// DefaultTTL matches the soft timeout the paper's reactive OpenFlow
+// entries used (tens of seconds would also be faithful; shorter keeps
+// Table 1 counting *active* flows).
+const DefaultTTL = 5 * time.Second
+
+// New builds a table on the given clock. ttl <= 0 takes DefaultTTL.
+func New(now func() time.Duration, ttl time.Duration) *Table {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Table{now: now, ttl: ttl, entries: make(map[Key]*entry)}
+}
+
+// Lookup returns the cached output port for k, refreshing the entry's
+// timeout on hit (OpenFlow idle-timeout semantics).
+func (t *Table) Lookup(k Key) (int, bool) {
+	e, ok := t.entries[k]
+	if !ok {
+		t.Stats.Misses++
+		return 0, false
+	}
+	now := t.now()
+	if now > e.expires {
+		delete(t.entries, k)
+		t.Stats.Expired++
+		t.Stats.Misses++
+		return 0, false
+	}
+	e.expires = now + t.ttl
+	e.hits++
+	t.Stats.Hits++
+	return e.port, true
+}
+
+// Install caches the routing decision for k.
+func (t *Table) Install(k Key, port int) {
+	t.entries[k] = &entry{port: port, expires: t.now() + t.ttl}
+	t.Stats.Installs++
+}
+
+// InvalidateAll flushes every entry — the switch's reaction to any
+// event that could change routing (port liveness, route exclusions,
+// migrations). Coarse but safe; the next packet of each flow re-runs
+// the slow path.
+func (t *Table) InvalidateAll() {
+	if len(t.entries) == 0 {
+		return
+	}
+	t.entries = make(map[Key]*entry)
+	t.Stats.Invalidations++
+}
+
+// Len returns the number of live (unexpired) entries, pruning dead
+// ones as a side effect.
+func (t *Table) Len() int {
+	now := t.now()
+	for k, e := range t.entries {
+		if now > e.expires {
+			delete(t.entries, k)
+			t.Stats.Expired++
+		}
+	}
+	return len(t.entries)
+}

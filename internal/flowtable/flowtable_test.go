@@ -1,0 +1,88 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+
+	"portland/internal/ether"
+)
+
+type clock struct{ t time.Duration }
+
+func (c *clock) now() time.Duration { return c.t }
+
+func TestLookupInstallExpiry(t *testing.T) {
+	c := &clock{}
+	tb := New(c.now, time.Second)
+	k := Key{Dst: ether.Addr{1}, Hash: 42}
+	if _, ok := tb.Lookup(k); ok {
+		t.Fatal("hit on empty table")
+	}
+	tb.Install(k, 3)
+	if p, ok := tb.Lookup(k); !ok || p != 3 {
+		t.Fatalf("lookup %d %v", p, ok)
+	}
+	// Idle timeout refresh: repeated hits keep the entry alive past
+	// the original TTL.
+	for i := 0; i < 5; i++ {
+		c.t += 800 * time.Millisecond
+		if _, ok := tb.Lookup(k); !ok {
+			t.Fatal("entry expired despite activity")
+		}
+	}
+	// Idle past TTL: gone.
+	c.t += 1100 * time.Millisecond
+	if _, ok := tb.Lookup(k); ok {
+		t.Fatal("idle entry survived")
+	}
+	if tb.Stats.Expired != 1 || tb.Stats.Installs != 1 {
+		t.Fatalf("stats %+v", tb.Stats)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := &clock{}
+	tb := New(c.now, 0)
+	for i := 0; i < 10; i++ {
+		tb.Install(Key{Dst: ether.Addr{byte(i)}}, i)
+	}
+	if tb.Len() != 10 {
+		t.Fatal("len")
+	}
+	tb.InvalidateAll()
+	if tb.Len() != 0 || tb.Stats.Invalidations != 1 {
+		t.Fatalf("after invalidate: len=%d stats=%+v", tb.Len(), tb.Stats)
+	}
+	tb.InvalidateAll() // empty: not counted
+	if tb.Stats.Invalidations != 1 {
+		t.Fatal("empty invalidation counted")
+	}
+}
+
+func TestLenPrunes(t *testing.T) {
+	c := &clock{}
+	tb := New(c.now, time.Second)
+	tb.Install(Key{Dst: ether.Addr{1}}, 1)
+	tb.Install(Key{Dst: ether.Addr{2}}, 2)
+	c.t = 2 * time.Second
+	if tb.Len() != 0 {
+		t.Fatal("expired entries counted")
+	}
+	if tb.Stats.Expired != 2 {
+		t.Fatalf("stats %+v", tb.Stats)
+	}
+}
+
+func TestFlowKeysIndependent(t *testing.T) {
+	c := &clock{}
+	tb := New(c.now, 0)
+	dst := ether.Addr{9}
+	tb.Install(Key{Dst: dst, Hash: 1}, 2)
+	tb.Install(Key{Dst: dst, Hash: 7}, 3)
+	if p, _ := tb.Lookup(Key{Dst: dst, Hash: 1}); p != 2 {
+		t.Fatal("hash 1")
+	}
+	if p, _ := tb.Lookup(Key{Dst: dst, Hash: 7}); p != 3 {
+		t.Fatal("hash 7")
+	}
+}

@@ -1,0 +1,53 @@
+// Package grouppkt is the tiny host-to-edge-switch group-management
+// protocol (the role IGMP plays in the paper): hosts announce that
+// they want to receive, or send to, a multicast group; the edge switch
+// relays the request to the fabric manager, which installs the
+// forwarding tree (paper §3.6).
+package grouppkt
+
+import (
+	"fmt"
+
+	"portland/internal/ether"
+)
+
+const wireLen = 6
+
+// Packet is a join/leave announcement, carried in an ether.Frame with
+// EtherType ether.TypeGroupMgmt.
+type Packet struct {
+	Group  uint32
+	Join   bool
+	Source bool // the host intends to transmit to the group
+}
+
+// WireSize implements ether.Payload.
+func (p *Packet) WireSize() int { return wireLen }
+
+// AppendTo implements ether.Payload.
+func (p *Packet) AppendTo(b []byte) []byte {
+	b = append(b, byte(p.Group>>24), byte(p.Group>>16), byte(p.Group>>8), byte(p.Group))
+	j, s := byte(0), byte(0)
+	if p.Join {
+		j = 1
+	}
+	if p.Source {
+		s = 1
+	}
+	return append(b, j, s)
+}
+
+// Parse decodes a group-management packet.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < wireLen {
+		return nil, fmt.Errorf("parsing grouppkt of %d bytes: %w", len(b), ether.ErrTruncated)
+	}
+	if b[4] > 1 || b[5] > 1 {
+		return nil, fmt.Errorf("grouppkt: non-canonical boolean % x", b[4:6])
+	}
+	return &Packet{
+		Group:  uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]),
+		Join:   b[4] != 0,
+		Source: b[5] != 0,
+	}, nil
+}

@@ -1,0 +1,30 @@
+package grouppkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(group uint32, join, source bool) bool {
+		in := &Packet{Group: group, Join: join, Source: source}
+		out, err := Parse(in.AppendTo(nil))
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	if _, err := Parse(make([]byte, 5)); err == nil {
+		t.Fatal("short packet must fail")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	p := &Packet{Group: 1, Join: true}
+	if got := len(p.AppendTo(nil)); got != p.WireSize() {
+		t.Fatalf("AppendTo wrote %d, WireSize %d", got, p.WireSize())
+	}
+}

@@ -1,0 +1,149 @@
+package ippkt
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"portland/internal/ether"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	f := func(ttl, proto uint8, src, dst [4]byte, payload []byte) bool {
+		in := &IPv4{
+			TTL: ttl, Protocol: proto,
+			Src: netip.AddrFrom4(src), Dst: netip.AddrFrom4(dst),
+			Payload: ether.Raw(payload),
+		}
+		out, err := ParseIPv4(in.AppendTo(nil))
+		if err != nil {
+			return false
+		}
+		return out.TTL == ttl && out.Protocol == proto &&
+			out.Src == in.Src && out.Dst == in.Dst &&
+			string(out.Payload.(ether.Raw)) == string(payload)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4HeaderChecksum(t *testing.T) {
+	p := &IPv4{TTL: 64, Protocol: ProtoUDP,
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Payload: ether.Raw("hello")}
+	b := p.AppendTo(nil)
+	// A correct header checksums to zero when summed including the
+	// checksum field (RFC 1071 property: ^sum == 0 means complement
+	// sum is all ones).
+	if got := Checksum(b[:IPv4HeaderLen], 0); got != 0 {
+		t.Fatalf("header does not verify: residual %04x", got)
+	}
+	// Corrupt a byte; verification must fail.
+	b[8] ^= 0xff
+	if Checksum(b[:IPv4HeaderLen], 0) == 0 {
+		t.Fatal("corrupted header still verifies")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+	// Odd length pads with a zero byte.
+	if got := Checksum([]byte{0xab}, 0); got != ^uint16(0xab00) {
+		t.Fatalf("odd-length checksum = %04x", got)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	if _, err := ParseIPv4(make([]byte, 19)); err == nil {
+		t.Fatal("short header must fail")
+	}
+	good := (&IPv4{TTL: 1, Protocol: 1, Src: netip.MustParseAddr("1.2.3.4"), Dst: netip.MustParseAddr("5.6.7.8")}).AppendTo(nil)
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x65 // version 6
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Fatal("wrong version must fail")
+	}
+	bad = append([]byte(nil), good...)
+	bad[0] = 0x44 // IHL 4 (<5)
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Fatal("bad IHL must fail")
+	}
+	bad = append([]byte(nil), good...)
+	bad[2], bad[3] = 0xff, 0xff // total length beyond buffer
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Fatal("bad total length must fail")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		in := &UDP{SrcPort: sp, DstPort: dp, Payload: ether.Raw(payload)}
+		out, err := ParseUDP(in.AppendTo(nil))
+		if err != nil {
+			return false
+		}
+		return out.SrcPort == sp && out.DstPort == dp &&
+			string(out.Payload.(ether.Raw)) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPErrors(t *testing.T) {
+	if _, err := ParseUDP(make([]byte, 7)); err == nil {
+		t.Fatal("short UDP must fail")
+	}
+	b := (&UDP{SrcPort: 1, DstPort: 2}).AppendTo(nil)
+	b[4], b[5] = 0, 3 // length < header
+	if _, err := ParseUDP(b); err == nil {
+		t.Fatal("undersized length field must fail")
+	}
+}
+
+func TestTCPSegmentRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16, payload []byte) bool {
+		in := &TCPSegment{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags, Window: win, Payload: ether.Raw(payload)}
+		out, err := ParseTCP(in.AppendTo(nil))
+		if err != nil {
+			return false
+		}
+		return out.SrcPort == sp && out.DstPort == dp && out.Seq == seq && out.Ack == ack &&
+			out.Flags == flags && out.Window == win &&
+			string(out.Payload.(ether.Raw)) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPFlagsAndString(t *testing.T) {
+	s := &TCPSegment{Flags: FlagSYN | FlagACK, Seq: 5, Ack: 6}
+	if !s.HasFlag(FlagSYN) || !s.HasFlag(FlagACK) || s.HasFlag(FlagFIN) {
+		t.Fatal("flag predicates")
+	}
+	str := s.String()
+	for _, want := range []string{"S", "seq=5", "ack=6"} {
+		if !contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+	if _, err := ParseTCP(make([]byte, 19)); err == nil {
+		t.Fatal("short TCP must fail")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

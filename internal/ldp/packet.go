@@ -1,0 +1,114 @@
+// Package ldp implements PortLand's Location Discovery Protocol
+// (paper §3.2): switches boot with zero configuration and discover
+// their level (edge/aggregation/core), pod number, position within the
+// pod, and the up/down orientation of every port, purely by exchanging
+// Location Discovery Messages (LDMs) with their neighbors. LDMs double
+// as liveness probes: a run of missed LDMs raises a port-down event,
+// the trigger for PortLand's fault handling (§3.5).
+package ldp
+
+import (
+	"fmt"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/ether"
+)
+
+// Sentinels for not-yet-discovered fields.
+const (
+	PodUnknown uint16 = 0xfffe
+	PosUnknown uint8  = 0xff
+)
+
+// PacketKind discriminates LDP packet types.
+type PacketKind uint8
+
+// LDP packet kinds. LDM is the periodic announcement; the Pos* kinds
+// implement the edge-position negotiation: an edge switch proposes a
+// random unclaimed position to all aggregation neighbors, which grant
+// or deny it first-come-first-served.
+const (
+	KindLDM PacketKind = iota + 1
+	KindPosPropose
+	KindPosGrant
+	KindPosRelease
+)
+
+// String names the kind.
+func (k PacketKind) String() string {
+	switch k {
+	case KindLDM:
+		return "ldm"
+	case KindPosPropose:
+		return "pos-propose"
+	case KindPosGrant:
+		return "pos-grant"
+	case KindPosRelease:
+		return "pos-release"
+	default:
+		return fmt.Sprintf("ldp-kind%d", uint8(k))
+	}
+}
+
+// packetWireLen is the fixed wire size of every LDP packet.
+const packetWireLen = 15
+
+// Packet is an LDP packet, carried as the payload of an ether.Frame
+// with EtherType ether.TypeLDP.
+type Packet struct {
+	Kind   PacketKind
+	Switch ctrlmsg.SwitchID
+	Level  uint8  // ctrlmsg.Level*; LevelUnknown before resolution
+	Pod    uint16 // PodUnknown before resolution; pmac.CorePod on cores
+	Pos    uint8  // PosUnknown before resolution (edges only)
+
+	// Candidate is the proposed/granted/released position for the
+	// Pos* kinds.
+	Candidate uint8
+	// Granted is set on KindPosGrant when the candidate was free or
+	// already owned by the proposer.
+	Granted bool
+	// Owner reports the current claim holder on a denied grant.
+	Owner ctrlmsg.SwitchID
+}
+
+// WireSize implements ether.Payload.
+func (p *Packet) WireSize() int { return packetWireLen }
+
+// AppendTo implements ether.Payload.
+func (p *Packet) AppendTo(b []byte) []byte {
+	b = append(b, uint8(p.Kind))
+	b = append(b, byte(p.Switch>>24), byte(p.Switch>>16), byte(p.Switch>>8), byte(p.Switch))
+	b = append(b, p.Level, byte(p.Pod>>8), byte(p.Pod), p.Pos, p.Candidate)
+	g := byte(0)
+	if p.Granted {
+		g = 1
+	}
+	b = append(b, g)
+	b = append(b, byte(p.Owner>>24), byte(p.Owner>>16), byte(p.Owner>>8), byte(p.Owner))
+	return b
+}
+
+// Parse decodes an LDP packet from wire bytes.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < packetWireLen {
+		return nil, fmt.Errorf("parsing ldp of %d bytes: %w", len(b), ether.ErrTruncated)
+	}
+	p := &Packet{
+		Kind:      PacketKind(b[0]),
+		Switch:    ctrlmsg.SwitchID(uint32(b[1])<<24 | uint32(b[2])<<16 | uint32(b[3])<<8 | uint32(b[4])),
+		Level:     b[5],
+		Pod:       uint16(b[6])<<8 | uint16(b[7]),
+		Pos:       b[8],
+		Candidate: b[9],
+		Granted:   b[10] != 0,
+		Owner:     ctrlmsg.SwitchID(uint32(b[11])<<24 | uint32(b[12])<<16 | uint32(b[13])<<8 | uint32(b[14])),
+	}
+	if p.Kind < KindLDM || p.Kind > KindPosRelease {
+		return nil, fmt.Errorf("ldp: unknown packet kind %d", b[0])
+	}
+	if b[10] > 1 {
+		return nil, fmt.Errorf("ldp: non-canonical boolean %d", b[10])
+	}
+	return p, nil
+}

@@ -1,0 +1,408 @@
+package pswitch
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"portland/internal/arppkt"
+	"portland/internal/ctrlmsg"
+	"portland/internal/dhcppkt"
+	"portland/internal/ether"
+	"portland/internal/flowtable"
+	"portland/internal/grouppkt"
+	"portland/internal/ippkt"
+	"portland/internal/pmac"
+)
+
+// fromHost processes a frame arriving on a host-facing edge port:
+// PMAC assignment and ingress rewriting, ARP interception, group
+// management, then fabric forwarding (paper §3.1, §3.3).
+func (s *Switch) fromHost(port int, f *ether.Frame) {
+	pm, _ := s.table.Assign(f.Src, uint8(port))
+	switch f.Type {
+	case ether.TypeARP:
+		p, ok := f.Payload.(*arppkt.Packet)
+		if !ok {
+			s.Stats.Dropped++
+			return
+		}
+		s.learnIP(f.Src, pm, p.SenderIP)
+		switch {
+		case p.Op == arppkt.OpRequest:
+			s.puntARP(port, f.Src, p)
+		case p.Gratuitous():
+			// Consumed: registration above already told the fabric
+			// manager, which handles (re)announcement and migration.
+			s.Stats.ARPPunts++
+		default:
+			// Unicast reply (answer to a flooded request): rewrite
+			// the sender's AMAC to its PMAC in both headers and
+			// forward through the fabric.
+			s.Stats.IngressRewrites++
+			g := f.Clone()
+			g.Src = pm.Addr()
+			q := *p
+			q.SenderMAC = pm.Addr()
+			g.Payload = &q
+			s.forwardUnicast(port, g)
+		}
+	case ether.TypeGroupMgmt:
+		p, ok := f.Payload.(*grouppkt.Packet)
+		if !ok {
+			s.Stats.Dropped++
+			return
+		}
+		s.sendCtrl(ctrlmsg.McastJoin{
+			Switch:   s.id,
+			Group:    p.Group,
+			HostPMAC: pm.Addr(),
+			Join:     p.Join,
+			Source:   p.Source,
+		})
+	default:
+		if ip, ok := f.Payload.(*ippkt.IPv4); ok {
+			s.learnIP(f.Src, pm, ip.Src)
+		}
+		s.Stats.IngressRewrites++
+		g := f.Clone()
+		g.Src = pm.Addr()
+		switch {
+		case g.Dst.IsMulticast():
+			s.forwardMulticast(port, g)
+		case g.Dst.IsBroadcast():
+			// PortLand eliminates data broadcast; ARP (handled above)
+			// and DHCP get the proxy treatment, everything else is
+			// dropped at the first hop.
+			if d := dhcpDiscover(f); d != nil {
+				s.puntDHCP(port, d)
+				return
+			}
+			s.Stats.Dropped++
+		default:
+			s.forwardUnicast(port, g)
+		}
+	}
+}
+
+// learnIP records amac's IP and registers the mapping with the fabric
+// manager the first time (or whenever the IP changes).
+func (s *Switch) learnIP(amac ether.Addr, pm pmac.PMAC, ip netip.Addr) {
+	if !ip.IsValid() || ip.IsUnspecified() {
+		return
+	}
+	if prev, ok := s.ipOf[amac]; ok && prev == ip {
+		return
+	}
+	s.ipOf[amac] = ip
+	s.sendCtrl(ctrlmsg.PMACRegister{Switch: s.id, IP: ip, AMAC: amac, PMAC: pm.Addr()})
+}
+
+// puntARP forwards a host's ARP request to the fabric manager and
+// parks the request until the answer comes back.
+func (s *Switch) puntARP(port int, hostMAC ether.Addr, p *arppkt.Packet) {
+	s.Stats.ARPPunts++
+	s.nextQueryID++
+	id := s.nextQueryID
+	s.pending[id] = pendingARP{hostPort: port, hostMAC: hostMAC, hostIP: p.SenderIP}
+	// Bound the parked-request table: answers normally arrive in
+	// microseconds; anything older than a host ARP retry is dead.
+	s.eng.Schedule(pendingARPTTL, func() { delete(s.pending, id) })
+	senderPM, _ := s.table.LookupAMAC(hostMAC)
+	s.sendCtrl(ctrlmsg.ARPQuery{
+		Switch:     s.id,
+		QueryID:    id,
+		SenderPMAC: senderPM.Addr(),
+		SenderIP:   p.SenderIP,
+		TargetIP:   p.TargetIP,
+	})
+}
+
+// pendingARPTTL bounds how long a punted ARP request waits for the
+// fabric manager before the switch forgets it.
+const pendingARPTTL = 2 * time.Second
+
+// dhcpDiscover returns the DHCP Discover inside f, or nil.
+func dhcpDiscover(f *ether.Frame) *dhcppkt.Packet {
+	ip, ok := f.Payload.(*ippkt.IPv4)
+	if !ok || ip.Protocol != ippkt.ProtoUDP {
+		return nil
+	}
+	udp, ok := ip.Payload.(*ippkt.UDP)
+	if !ok || udp.DstPort != dhcppkt.ServerPort {
+		return nil
+	}
+	d, ok := udp.Payload.(*dhcppkt.Packet)
+	if !ok || d.Op != dhcppkt.OpDiscover {
+		return nil
+	}
+	return d
+}
+
+// puntDHCP forwards a Discover to the fabric manager (paper §3.3:
+// DHCP is proxied exactly like ARP, never flooded).
+func (s *Switch) puntDHCP(port int, d *dhcppkt.Packet) {
+	s.Stats.DHCPPunts++
+	s.nextQueryID++
+	id := s.nextQueryID
+	s.pendingDHCP[id] = pendingDHCPReq{hostPort: port, clientMAC: d.ClientMAC, xid: d.XID}
+	s.eng.Schedule(pendingARPTTL, func() { delete(s.pendingDHCP, id) })
+	s.sendCtrl(ctrlmsg.DHCPQuery{Switch: s.id, QueryID: id, XID: d.XID, ClientMAC: d.ClientMAC})
+}
+
+// handleDHCPAnswer synthesizes the Ack back to the client.
+func (s *Switch) handleDHCPAnswer(v ctrlmsg.DHCPAnswer) {
+	p, ok := s.pendingDHCP[v.QueryID]
+	if !ok {
+		return
+	}
+	delete(s.pendingDHCP, v.QueryID)
+	s.Stats.DHCPProxied++
+	ack := &dhcppkt.Packet{Op: dhcppkt.OpAck, XID: p.xid, ClientMAC: p.clientMAC, YourIP: v.IP}
+	s.send(p.hostPort, &ether.Frame{
+		Dst:  p.clientMAC,
+		Src:  pmac.PMAC{Pod: s.loc.Pod, Position: s.loc.Pos, Port: uint8(p.hostPort), VMID: 0}.Addr(),
+		Type: ether.TypeIPv4,
+		Payload: &ippkt.IPv4{
+			TTL: 64, Protocol: ippkt.ProtoUDP,
+			Src: netip.AddrFrom4([4]byte{10, 255, 255, 254}), // the fabric's server identity
+			Dst: v.IP,
+			Payload: &ippkt.UDP{
+				SrcPort: dhcppkt.ServerPort, DstPort: dhcppkt.ClientPort,
+				Payload: ack,
+			},
+		},
+	})
+}
+
+// fromFabric processes a frame arriving on a fabric-facing port.
+func (s *Switch) fromFabric(port int, f *ether.Frame) {
+	switch {
+	case f.Dst.IsMulticast():
+		s.forwardMulticast(port, f)
+	case f.Dst.IsBroadcast():
+		// No broadcast transits the PortLand fabric.
+		s.Stats.Dropped++
+	default:
+		s.forwardUnicast(port, f)
+	}
+}
+
+// forwardUnicast routes on the PMAC hierarchy (paper §3.1: edge and
+// aggregation switches prefix-match on pod/position; core switches on
+// pod; inter-pod traffic spreads over ECMP uplinks). The first packet
+// of each flow takes this slow path and installs an OpenFlow-style
+// flow entry; subsequent packets hit the cache until it expires or a
+// fault invalidates it — exactly the reactive model the paper's
+// switches ran.
+func (s *Switch) forwardUnicast(inPort int, f *ether.Frame) {
+	dst := pmac.FromAddr(f.Dst)
+	if s.loc.Level == ctrlmsg.LevelEdge && dst.Pod == s.loc.Pod && dst.Position == s.loc.Pos {
+		// Local delivery is uncached: it rewrites headers and owns
+		// the migration-invalidation special case.
+		s.deliverLocal(inPort, f, dst)
+		return
+	}
+	key := flowtable.Key{Dst: f.Dst, Hash: flowHash(f)}
+	if port, ok := s.flows.Lookup(key); ok {
+		s.send(port, f)
+		return
+	}
+	port, ok := s.routeUnicast(f, dst)
+	if !ok {
+		return // counted by routeUnicast
+	}
+	s.flows.Install(key, port)
+	s.send(port, f)
+}
+
+// routeUnicast is the slow path: compute the output port from LDP
+// state, exclusions and the flow hash.
+func (s *Switch) routeUnicast(f *ether.Frame, dst pmac.PMAC) (int, bool) {
+	switch s.loc.Level {
+	case ctrlmsg.LevelEdge:
+		return s.ecmpUp(f, dst)
+	case ctrlmsg.LevelAggregation:
+		if dst.Pod == s.loc.Pod {
+			return s.downToPosition(dst)
+		}
+		return s.ecmpUp(f, dst)
+	case ctrlmsg.LevelCore:
+		return s.downToPod(f, dst)
+	default:
+		s.Stats.Dropped++
+		return 0, false
+	}
+}
+
+// deliverLocal hands a frame addressed to one of this edge switch's
+// own PMACs to the host, rewriting PMAC→AMAC (paper §3.1), or serves
+// the migration-invalidation rule for PMACs that have moved away
+// (paper §3.4).
+func (s *Switch) deliverLocal(inPort int, f *ether.Frame, dst pmac.PMAC) {
+	if amac, ok := s.table.LookupPMAC(f.Dst); ok {
+		s.Stats.EgressRewrites++
+		g := f.Clone()
+		g.Dst = amac
+		if p, ok := g.Payload.(*arppkt.Packet); ok && p.TargetMAC == f.Dst {
+			q := *p
+			q.TargetMAC = amac
+			g.Payload = &q
+		}
+		s.send(int(dst.Port), g)
+		return
+	}
+	if me, ok := s.migrated[f.Dst]; ok {
+		// Invalidate the sender's stale neighbor-cache entry with a
+		// unicast gratuitous ARP announcing the new PMAC; the dropped
+		// frame is recovered by the transport (paper §3.4).
+		s.Stats.GratuitousSent++
+		garp := &ether.Frame{
+			Dst:  f.Src,
+			Src:  me.newPMAC,
+			Type: ether.TypeARP,
+			Payload: &arppkt.Packet{
+				Op:        arppkt.OpReply,
+				SenderMAC: me.newPMAC,
+				SenderIP:  me.ip,
+				TargetMAC: f.Src,
+				TargetIP:  me.ip,
+			},
+		}
+		s.forwardUnicast(inPort, garp)
+		s.Stats.Dropped++
+		return
+	}
+	s.Stats.Dropped++
+}
+
+// ecmpUp spreads a flow across the live, non-excluded uplinks.
+func (s *Switch) ecmpUp(f *ether.Frame, dst pmac.PMAC) (int, bool) {
+	ups := s.agent.LiveUpPorts()
+	cand := ups[:0:0]
+	for _, p := range ups {
+		n, ok := s.agent.Neighbor(p)
+		if !ok {
+			continue
+		}
+		if s.excl[exclKey{via: n.ID, pod: dst.Pod, pos: ctrlmsg.AnyPos}] ||
+			s.excl[exclKey{via: n.ID, pod: dst.Pod, pos: dst.Position}] {
+			continue
+		}
+		cand = append(cand, p)
+	}
+	if len(cand) == 0 {
+		s.Stats.Blackholed++
+		return 0, false
+	}
+	return cand[flowHash(f)%uint32(len(cand))], true
+}
+
+// downToPosition (aggregation) routes toward an edge position in this
+// pod.
+func (s *Switch) downToPosition(dst pmac.PMAC) (int, bool) {
+	for port, n := range s.agent.LiveDownNeighbors() {
+		if n.Loc.Pos == dst.Position {
+			return port, true
+		}
+	}
+	s.Stats.Blackholed++
+	return 0, false
+}
+
+// downToPod (core) routes toward the destination pod; strict fat
+// trees have exactly one such link, but generalized multi-rooted
+// trees may offer several, in which case the flow hash picks.
+func (s *Switch) downToPod(f *ether.Frame, dst pmac.PMAC) (int, bool) {
+	var cand []int
+	for port, n := range s.agent.LiveDownNeighbors() {
+		if n.Loc.Pod == dst.Pod {
+			cand = append(cand, port)
+		}
+	}
+	switch len(cand) {
+	case 0:
+		s.Stats.Blackholed++
+		return 0, false
+	case 1:
+		return cand[0], true
+	default:
+		// Map iteration order is random; sort for determinism.
+		sortInts(cand)
+		return cand[int(flowHash(f))%len(cand)], true
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// forwardMulticast replicates a group frame along the fabric-manager
+// installed tree (paper §3.6).
+func (s *Switch) forwardMulticast(inPort int, f *ether.Frame) {
+	group, ok := ether.GroupFromAddr(f.Dst)
+	if !ok {
+		s.Stats.Dropped++
+		return
+	}
+	ports, ok := s.mcast[group]
+	if !ok {
+		s.Stats.Dropped++
+		return
+	}
+	sent := false
+	for _, p := range ports {
+		if p == inPort {
+			continue
+		}
+		s.Stats.McastReplicas++
+		s.send(p, f.Clone())
+		sent = true
+	}
+	if !sent {
+		s.Stats.Dropped++
+	}
+}
+
+// flowHash is the ECMP flow hash: FNV-1a over the Ethernet pair and
+// type, plus the transport 5-tuple when the payload is IPv4 (the
+// paper's switches hash "on source and destination addresses and port
+// numbers"). All packets of one flow take one path, preserving
+// ordering.
+func flowHash(f *ether.Frame) uint32 {
+	h := fnv.New32a()
+	var b [16]byte
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	b[12] = byte(f.Type >> 8)
+	b[13] = byte(f.Type)
+	n := 14
+	if ip, ok := f.Payload.(*ippkt.IPv4); ok {
+		b[n] = ip.Protocol
+		n++
+		h.Write(b[:n])
+		var pb [8]byte
+		switch t := ip.Payload.(type) {
+		case *ippkt.UDP:
+			putPorts(pb[:], t.SrcPort, t.DstPort)
+			h.Write(pb[:4])
+		case *ippkt.TCPSegment:
+			putPorts(pb[:], t.SrcPort, t.DstPort)
+			h.Write(pb[:4])
+		}
+		return h.Sum32()
+	}
+	h.Write(b[:n])
+	return h.Sum32()
+}
+
+func putPorts(b []byte, src, dst uint16) {
+	b[0] = byte(src >> 8)
+	b[1] = byte(src)
+	b[2] = byte(dst >> 8)
+	b[3] = byte(dst)
+}

@@ -1,0 +1,436 @@
+// Package pswitch implements the PortLand switch: an unconfigured
+// fat-tree switch that discovers its location with LDP, assigns PMACs
+// to directly connected hosts, intercepts and proxies ARP through the
+// fabric manager, and forwards on the PMAC hierarchy with ECMP across
+// live, non-excluded uplinks (paper §3).
+//
+// The same type serves as edge, aggregation and core switch; the role
+// is whatever LDP discovers, exactly as the paper's deployment model
+// requires ("switches begin with no configuration state").
+package pswitch
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"portland/internal/arppkt"
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/ether"
+	"portland/internal/flowtable"
+	"portland/internal/ldp"
+	"portland/internal/pmac"
+	"portland/internal/sim"
+)
+
+// Counters aggregates a switch's dataplane statistics.
+type Counters struct {
+	FramesIn        int64
+	FramesOut       int64
+	Dropped         int64 // no route / filtered
+	Blackholed      int64 // had a route class but no live port
+	ARPPunts        int64 // host ARP requests punted to the fabric manager
+	ARPProxied      int64 // ARP replies synthesized from fabric-manager answers
+	ARPFloods       int64 // fallback broadcasts on host ports
+	IngressRewrites int64 // AMAC→PMAC
+	EgressRewrites  int64 // PMAC→AMAC
+	McastReplicas   int64
+	GratuitousSent  int64 // migration-invalidation gratuitous ARPs
+	DHCPPunts       int64 // host Discovers punted to the fabric manager
+	DHCPProxied     int64 // Acks synthesized from manager answers
+}
+
+type pendingARP struct {
+	hostPort int
+	hostMAC  ether.Addr
+	hostIP   netip.Addr
+}
+
+type pendingDHCPReq struct {
+	hostPort  int
+	clientMAC ether.Addr
+	xid       uint32
+}
+
+type migrationEntry struct {
+	ip      netip.Addr
+	newPMAC ether.Addr
+}
+
+type exclKey struct {
+	via ctrlmsg.SwitchID
+	pod uint16
+	pos uint8
+}
+
+// Switch is one PortLand switch.
+type Switch struct {
+	eng    *sim.Engine
+	id     ctrlmsg.SwitchID
+	ldpCfg ldp.Config
+	name   string
+	links  []*sim.Link
+
+	agent *ldp.Agent
+	ctrl  ctrlnet.Conn
+
+	loc      ctrlmsg.Loc
+	resolved bool
+
+	table *pmac.Table // AMAC↔PMAC (edge role)
+	ipOf  map[ether.Addr]netip.Addr
+
+	pending     map[uint64]pendingARP
+	pendingDHCP map[uint64]pendingDHCPReq
+	nextQueryID uint64
+
+	excl     map[exclKey]bool
+	mcast    map[uint32][]int
+	migrated map[ether.Addr]migrationEntry
+	flows    *flowtable.Table
+
+	failed bool
+
+	// Tap, if non-nil, observes every frame the switch receives
+	// (egress=false) and transmits (egress=true). Used by the trace
+	// tooling and the path tracer; nil costs nothing.
+	Tap func(port int, f *ether.Frame, egress bool)
+
+	// Stats is the switch's dataplane counter block.
+	Stats Counters
+}
+
+// New builds a switch with the given burned-in ID and port count.
+func New(eng *sim.Engine, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.Config) *Switch {
+	s := &Switch{
+		eng:         eng,
+		id:          id,
+		name:        name,
+		links:       make([]*sim.Link, ports),
+		table:       pmac.NewTable(),
+		ipOf:        make(map[ether.Addr]netip.Addr),
+		pending:     make(map[uint64]pendingARP),
+		pendingDHCP: make(map[uint64]pendingDHCPReq),
+		excl:        make(map[exclKey]bool),
+		mcast:       make(map[uint32][]int),
+		migrated:    make(map[ether.Addr]migrationEntry),
+	}
+	s.flows = flowtable.New(eng.Now, 0)
+	s.agent = ldp.New(eng, (*agentEnv)(s), cfg)
+	return s
+}
+
+// agentEnv adapts Switch to ldp.Env without exporting the callbacks.
+type agentEnv Switch
+
+// ID returns the switch identifier.
+func (s *Switch) ID() ctrlmsg.SwitchID { return s.id }
+
+// Name implements sim.Node.
+func (s *Switch) Name() string { return s.name }
+
+// Attach implements sim.Node.
+func (s *Switch) Attach(port int, l *sim.Link) { s.links[port] = l }
+
+// SetControl wires the switch's channel to the fabric manager. Must be
+// called before Start.
+func (s *Switch) SetControl(c ctrlnet.Conn) { s.ctrl = c }
+
+// Start implements sim.Node: announce to the fabric manager and begin
+// location discovery.
+func (s *Switch) Start() {
+	s.sendCtrl(ctrlmsg.Hello{Switch: s.id})
+	s.agent.Start()
+}
+
+// Fail drops the switch out of the network: it stops speaking LDP,
+// stops forwarding, and ignores everything it receives. Neighbors
+// notice via missed LDMs, exactly as with a crashed switch.
+func (s *Switch) Fail() {
+	s.failed = true
+	s.agent.Stop()
+}
+
+// Failed reports whether Fail was called.
+func (s *Switch) Failed() bool { return s.failed }
+
+// Recover reboots a failed switch: all discovered state is discarded
+// (configuration-free switches hold nothing durable) and location
+// discovery starts over, exactly as a replaced or power-cycled unit
+// would behave in the paper's deployment model.
+func (s *Switch) Recover() {
+	if !s.failed {
+		return
+	}
+	s.failed = false
+	s.resolved = false
+	s.loc = ctrlmsg.Loc{}
+	s.table = pmac.NewTable()
+	s.ipOf = make(map[ether.Addr]netip.Addr)
+	s.pending = make(map[uint64]pendingARP)
+	s.pendingDHCP = make(map[uint64]pendingDHCPReq)
+	s.excl = make(map[exclKey]bool)
+	s.mcast = make(map[uint32][]int)
+	s.migrated = make(map[ether.Addr]migrationEntry)
+	s.flows = flowtable.New(s.eng.Now, 0)
+	s.agent = ldp.New(s.eng, (*agentEnv)(s), s.ldpCfg)
+	s.Start()
+}
+
+// Loc returns the LDP-discovered location.
+func (s *Switch) Loc() ctrlmsg.Loc { return s.loc }
+
+// Resolved reports whether location discovery completed.
+func (s *Switch) Resolved() bool { return s.resolved }
+
+// Agent exposes the LDP agent for tests and ablation benches.
+func (s *Switch) Agent() *ldp.Agent { return s.agent }
+
+// PMACTableLen returns the number of AMAC↔PMAC mappings (edge state).
+func (s *Switch) PMACTableLen() int { return s.table.Len() }
+
+// FlowTable exposes the OpenFlow-style flow cache (tests, Table 1).
+func (s *Switch) FlowTable() *flowtable.Table { return s.flows }
+
+// RoutingStateSize returns the number of forwarding-table entries the
+// switch holds: live flow entries, PMAC mappings, multicast entries,
+// migration entries and route exclusions. The Table 1 experiment
+// compares this against the baseline's flat MAC table.
+func (s *Switch) RoutingStateSize() int {
+	n := s.flows.Len() + s.table.Len() + len(s.excl) + len(s.migrated)
+	for _, ports := range s.mcast {
+		n += len(ports)
+	}
+	// Live neighbor/port bookkeeping is O(ports).
+	for _, l := range s.links {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// HandleFrame implements sim.Node.
+func (s *Switch) HandleFrame(port int, f *ether.Frame) {
+	if s.failed {
+		return
+	}
+	s.Stats.FramesIn++
+	if s.Tap != nil {
+		s.Tap(port, f, false)
+	}
+	if f.Type == ether.TypeLDP {
+		if p, ok := f.Payload.(*ldp.Packet); ok {
+			s.agent.HandleLDP(port, p)
+		}
+		return
+	}
+	s.agent.NoteDataFrame(port)
+	if !s.resolved {
+		// Dataplane is down until discovery finishes; the paper's
+		// switches likewise forward nothing before LDP completes.
+		s.Stats.Dropped++
+		return
+	}
+	if s.loc.Level == ctrlmsg.LevelEdge && s.agent.IsHostPort(port) {
+		s.fromHost(port, f)
+		return
+	}
+	s.fromFabric(port, f)
+}
+
+func (s *Switch) send(port int, f *ether.Frame) {
+	if l := s.links[port]; l != nil {
+		s.Stats.FramesOut++
+		if s.Tap != nil {
+			s.Tap(port, f, true)
+		}
+		l.Send(s, f)
+	}
+}
+
+func (s *Switch) sendCtrl(m ctrlmsg.Msg) {
+	if s.ctrl != nil {
+		_ = s.ctrl.Send(m)
+	}
+}
+
+// --- ldp.Env ---
+
+// ID implements ldp.Env.
+func (e *agentEnv) ID() ctrlmsg.SwitchID { return e.id }
+
+// NumPorts implements ldp.Env.
+func (e *agentEnv) NumPorts() int { return len(e.links) }
+
+// SendLDP implements ldp.Env.
+func (e *agentEnv) SendLDP(port int, p *ldp.Packet) {
+	s := (*Switch)(e)
+	if s.failed {
+		return
+	}
+	s.send(port, &ether.Frame{
+		Dst:     ether.Broadcast,
+		Src:     pmac.PMAC{Pod: 0, Position: 0, Port: 0, VMID: uint16(s.id)}.Addr(),
+		Type:    ether.TypeLDP,
+		Payload: p,
+	})
+}
+
+// LocationResolved implements ldp.Env.
+func (e *agentEnv) LocationResolved(loc ctrlmsg.Loc) {
+	s := (*Switch)(e)
+	s.loc = loc
+	s.resolved = true
+	if loc.Level == ctrlmsg.LevelEdge {
+		s.table.SetLocation(loc.Pod, loc.Pos)
+	}
+	s.sendCtrl(ctrlmsg.LocationReport{Switch: s.id, Loc: loc})
+	// Report current adjacency so the fabric manager's graph includes
+	// links discovered before resolution.
+	for port := range s.links {
+		if n, ok := s.agent.Neighbor(port); ok && n.Alive {
+			s.reportPort(port, n, true)
+		}
+	}
+}
+
+// RequestPod implements ldp.Env.
+func (e *agentEnv) RequestPod() {
+	s := (*Switch)(e)
+	s.sendCtrl(ctrlmsg.PodRequest{Switch: s.id})
+}
+
+// PortStatus implements ldp.Env.
+func (e *agentEnv) PortStatus(port int, peer ldp.Neighbor, up bool) {
+	s := (*Switch)(e)
+	if s.failed {
+		return
+	}
+	// Liveness changed: cached flow entries may point at a dead (or
+	// newly usable) port.
+	s.flows.InvalidateAll()
+	s.reportPort(port, peer, up)
+}
+
+// NeighborUpdate implements ldp.Env.
+func (e *agentEnv) NeighborUpdate(port int, peer ldp.Neighbor) {
+	s := (*Switch)(e)
+	if s.failed {
+		return
+	}
+	s.reportPort(port, peer, true)
+}
+
+func (s *Switch) reportPort(port int, peer ldp.Neighbor, up bool) {
+	s.sendCtrl(ctrlmsg.FaultNotify{
+		Switch:   s.id,
+		Port:     uint8(port),
+		Down:     !up,
+		PeerID:   peer.ID,
+		PeerLoc:  peer.Loc,
+		LocalLoc: s.agent.Loc(),
+	})
+}
+
+// --- control messages from the fabric manager ---
+
+// HandleCtrl processes a message from the fabric manager.
+func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
+	if s.failed {
+		return
+	}
+	switch v := m.(type) {
+	case ctrlmsg.PodAssign:
+		s.agent.SetPod(v.Pod)
+	case ctrlmsg.ARPAnswer:
+		s.handleARPAnswer(v)
+	case ctrlmsg.ARPFlood:
+		s.handleARPFlood(v)
+	case ctrlmsg.RouteExclude:
+		k := exclKey{via: v.Via, pod: v.DstPod, pos: v.DstPos}
+		if v.Add {
+			s.excl[k] = true
+		} else {
+			delete(s.excl, k)
+		}
+		s.flows.InvalidateAll() // routing changed; re-run slow paths
+	case ctrlmsg.McastInstall:
+		if len(v.OutPorts) == 0 {
+			delete(s.mcast, v.Group)
+			return
+		}
+		ports := make([]int, 0, len(v.OutPorts))
+		for _, p := range v.OutPorts {
+			ports = append(ports, int(p))
+		}
+		s.mcast[v.Group] = ports
+	case ctrlmsg.MigrationUpdate:
+		s.handleMigrationUpdate(v)
+	case ctrlmsg.DHCPAnswer:
+		s.handleDHCPAnswer(v)
+	default:
+		// Benign: newer fabric managers may speak extra kinds.
+	}
+}
+
+func (s *Switch) handleARPAnswer(v ctrlmsg.ARPAnswer) {
+	p, ok := s.pending[v.QueryID]
+	if !ok {
+		return
+	}
+	delete(s.pending, v.QueryID)
+	if !v.Found {
+		// The fabric manager has launched the broadcast fallback;
+		// the eventual ARP reply arrives through the dataplane.
+		return
+	}
+	s.Stats.ARPProxied++
+	s.send(p.hostPort, arppkt.Reply(v.PMAC, v.TargetIP, p.hostMAC, p.hostIP))
+}
+
+func (s *Switch) handleARPFlood(v ctrlmsg.ARPFlood) {
+	if s.loc.Level != ctrlmsg.LevelEdge {
+		return
+	}
+	s.Stats.ARPFloods++
+	req := &ether.Frame{
+		Dst:  ether.Broadcast,
+		Src:  v.SenderPMAC,
+		Type: ether.TypeARP,
+		Payload: &arppkt.Packet{
+			Op:        arppkt.OpRequest,
+			SenderMAC: v.SenderPMAC,
+			SenderIP:  v.SenderIP,
+			TargetIP:  v.TargetIP,
+		},
+	}
+	for _, hp := range s.agent.HostPorts() {
+		s.send(hp, req.Clone())
+	}
+}
+
+func (s *Switch) handleMigrationUpdate(v ctrlmsg.MigrationUpdate) {
+	s.flows.InvalidateAll()
+	s.migrated[v.OldPMAC] = migrationEntry{ip: v.IP, newPMAC: v.NewPMAC}
+	// Drop the stale local mapping so the old PMAC is no longer
+	// deliverable here.
+	if amac, ok := s.table.LookupPMAC(v.OldPMAC); ok {
+		s.table.Remove(amac)
+		delete(s.ipOf, amac)
+	}
+	// The transient entry self-expires; the paper keeps it only long
+	// enough to invalidate stale neighbor caches.
+	old := v.OldPMAC
+	s.eng.Schedule(migrationEntryTTL, func() { delete(s.migrated, old) })
+}
+
+// migrationEntryTTL bounds how long an edge switch answers for a
+// PMAC that migrated away.
+const migrationEntryTTL = 30 * time.Second
+
+// String identifies the switch.
+func (s *Switch) String() string {
+	return fmt.Sprintf("%s(%s)", s.name, s.loc)
+}

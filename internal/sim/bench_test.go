@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"portland/internal/ether"
+)
+
+// BenchmarkEngineSchedule measures raw event throughput — the budget
+// everything else in the simulator spends from.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i), fn)
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineTimerChurn measures the cancellable-timer pattern the
+// protocol stacks lean on (LDP keepalive sweeps, TCP RTO re-arming).
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := New(1)
+	t := e.NewTimer(func() {})
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Millisecond)
+	}
+	e.Run()
+}
+
+// BenchmarkLinkThroughput measures frames/second through one
+// simulated link, including serialization and delivery events.
+func BenchmarkLinkThroughput(b *testing.B) {
+	e := New(1)
+	a := &node{name: "a", eng: e}
+	c := &node{name: "b", eng: e}
+	l := Connect(e, a, 0, c, 0, LinkConfig{Rate: 100e9, Delay: time.Microsecond, QueueFrames: 1 << 20})
+	f := &ether.Frame{Type: ether.TypeIPv4, Payload: ether.Raw(make([]byte, 1000))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(a, f)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+	if int(l.Delivered) != b.N {
+		b.Fatalf("delivered %d/%d", l.Delivered, b.N)
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim is a deterministic discrete-event network simulator.
+//
+// All protocol code in this repository runs on virtual time: an Engine
+// owns a monotone clock and an event heap, and every link, timer and
+// timeout is an event. Runs are reproducible — the engine's PRNG is
+// seeded explicitly and ties between simultaneous events are broken by
+// insertion order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event executor with a virtual clock.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns an engine whose PRNG is seeded with seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay d of virtual time. A negative d is
+// treated as zero (run at the current instant, after already-queued
+// events for this instant).
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t (clamped to now).
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run and RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called,
+// leaving the clock at the last executed event. It returns the number
+// of events executed.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline and leaves the
+// clock exactly at the deadline (idle time passes even when no events
+// are due).
+func (e *Engine) RunUntil(deadline time.Duration) int {
+	e.stopped = false
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Timer is a cancellable, reschedulable one-shot timer.
+type Timer struct {
+	eng   *Engine
+	gen   int // bumped on Stop/Reset to invalidate in-flight events
+	armed bool
+	fn    func()
+}
+
+// NewTimer returns an unarmed timer that will call fn when it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{eng: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d.
+func (t *Timer) Reset(d time.Duration) {
+	t.gen++
+	t.armed = true
+	gen := t.gen
+	t.eng.Schedule(d, func() {
+		if t.gen != gen || !t.armed {
+			return
+		}
+		t.armed = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer; a pending expiry will not fire.
+func (t *Timer) Stop() {
+	t.gen++
+	t.armed = false
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Ticker invokes fn every interval until stopped.
+type Ticker struct {
+	eng      *Engine
+	interval time.Duration
+	stopped  bool
+	fn       func()
+}
+
+// NewTicker starts a ticker with the given interval. The first tick is
+// after one full interval unless jitter > 0, in which case the first
+// tick is after a uniform random fraction of jitter (used to de-phase
+// periodic protocols such as LDP keepalives).
+func (e *Engine) NewTicker(interval, jitter time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	first := interval
+	if jitter > 0 {
+		first = time.Duration(e.rng.Int64N(int64(jitter))) + 1
+	}
+	e.Schedule(first, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop the ticker
+		return
+	}
+	t.eng.Schedule(t.interval, t.tick)
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() { t.stopped = true }

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"portland/internal/ether"
+)
+
+// Node is anything attachable to links: a switch or a host.
+type Node interface {
+	// Name returns a stable human-readable identifier for traces.
+	Name() string
+	// Attach informs the node that port carries the given link.
+	// Called once per port during wiring, before Start.
+	Attach(port int, l *Link)
+	// HandleFrame delivers a frame that arrived on port.
+	HandleFrame(port int, f *ether.Frame)
+	// Start schedules the node's initial protocol events.
+	Start()
+}
+
+// LinkConfig sets the physical properties of a link. The zero value is
+// replaced by DefaultLinkConfig.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second.
+	Rate int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueFrames caps each direction's egress queue (drop-tail).
+	QueueFrames int
+	// LossRate drops each frame independently with this probability
+	// (deterministic given the engine seed). Zero for clean links;
+	// protocol-robustness tests use it to shake out assumptions of
+	// reliable delivery.
+	LossRate float64
+}
+
+// DefaultLinkConfig models a 1 GbE data-center cable run.
+var DefaultLinkConfig = LinkConfig{
+	Rate:        1e9,
+	Delay:       1 * time.Microsecond,
+	QueueFrames: 128,
+}
+
+// Link is a full-duplex point-to-point link between two node ports.
+// Each direction has an independent transmitter with a FIFO drop-tail
+// queue; a frame occupies the transmitter for size/rate seconds and is
+// delivered Delay later. Links can be administratively or
+// failure-injected down, which silently discards frames — exactly what
+// higher layers must detect via LDP timeouts.
+type Link struct {
+	eng *Engine
+	cfg LinkConfig
+
+	a, b endpoint
+	ab   direction // a transmits to b
+	ba   direction // b transmits to a
+
+	up bool
+
+	// Tap, if non-nil, observes every frame the moment it is
+	// delivered to a receiver (after queueing and propagation).
+	Tap func(f *ether.Frame)
+
+	// Drops counts frames lost to full queues or a down link.
+	Drops int64
+	// Delivered counts frames handed to a receiver.
+	Delivered int64
+}
+
+type endpoint struct {
+	node Node
+	port int
+}
+
+type direction struct {
+	busyUntil time.Duration
+	queued    int
+}
+
+// Connect wires (an,ap) to (bn,bp) with cfg and attaches both sides.
+func Connect(e *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link {
+	if cfg.Rate == 0 {
+		cfg = DefaultLinkConfig
+	}
+	l := &Link{eng: e, cfg: cfg, a: endpoint{an, ap}, b: endpoint{bn, bp}, up: true}
+	an.Attach(ap, l)
+	bn.Attach(bp, l)
+	return l
+}
+
+// Up reports whether the link is passing frames.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp raises or fails the link. Frames already queued or in flight
+// when the link goes down are lost (their delivery events notice the
+// down state and count the drop).
+func (l *Link) SetUp(up bool) {
+	l.up = up
+}
+
+// Peer returns the node and port on the far side from n.
+func (l *Link) Peer(n Node) (Node, int) {
+	if l.a.node == n {
+		return l.b.node, l.b.port
+	}
+	return l.a.node, l.a.port
+}
+
+// LocalPort returns n's own port number on this link.
+func (l *Link) LocalPort(n Node) int {
+	if l.a.node == n {
+		return l.a.port
+	}
+	return l.b.port
+}
+
+// Config returns the link's physical configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Send transmits f from node "from" toward the peer. It models
+// store-and-forward serialization and propagation; the frame is either
+// queued for transmission or dropped (full queue / link down).
+func (l *Link) Send(from Node, f *ether.Frame) {
+	var dir *direction
+	var dst endpoint
+	switch from {
+	case l.a.node:
+		dir, dst = &l.ab, l.b
+	case l.b.node:
+		dir, dst = &l.ba, l.a
+	default:
+		panic(fmt.Sprintf("sim: node %s not on link %s<->%s", from.Name(), l.a.node.Name(), l.b.node.Name()))
+	}
+	if !l.up {
+		l.Drops++
+		return
+	}
+	if dir.queued >= l.cfg.QueueFrames {
+		l.Drops++
+		return
+	}
+	if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
+		l.Drops++
+		return
+	}
+	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
+	start := l.eng.Now()
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	dir.busyUntil = start + ser
+	dir.queued++
+	arrive := dir.busyUntil + l.cfg.Delay - l.eng.Now()
+	l.eng.Schedule(arrive, func() {
+		dir.queued--
+		if !l.up { // failed while in flight
+			l.Drops++
+			return
+		}
+		l.Delivered++
+		if l.Tap != nil {
+			l.Tap(f)
+		}
+		dst.node.HandleFrame(dst.port, f)
+	})
+}
+
+// String identifies the link by its endpoints.
+func (l *Link) String() string {
+	return fmt.Sprintf("%s[%d]<->%s[%d]", l.a.node.Name(), l.a.port, l.b.node.Name(), l.b.port)
+}

@@ -1,0 +1,133 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestFatTreeCountsMatchClosedForm(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8, 16, 48} {
+		spec, err := FatTree(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got, want := spec.Count(), FatTreeCounts(k); got != want {
+			t.Fatalf("k=%d: counts %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+func TestFatTreeRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5, -4} {
+		if _, err := FatTree(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestFatTreeWiringValid(t *testing.T) {
+	spec, err := FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[PortRef]bool)
+	for _, l := range spec.Links {
+		for _, ref := range []PortRef{l.A, l.B} {
+			if ref.Node < 0 || int(ref.Node) >= len(spec.Nodes) {
+				t.Fatalf("link references node %d out of range", ref.Node)
+			}
+			n := spec.Nodes[ref.Node]
+			if ref.Port < 0 || ref.Port >= n.Ports {
+				t.Fatalf("%s: port %d out of range (%d ports)", n.Name, ref.Port, n.Ports)
+			}
+			if used[ref] {
+				t.Fatalf("%s port %d wired twice", n.Name, ref.Port)
+			}
+			used[ref] = true
+		}
+		if l.A.Node == l.B.Node {
+			t.Fatal("self link")
+		}
+	}
+	// Every switch port must be wired; every host has one port.
+	for _, n := range spec.Nodes {
+		for p := 0; p < n.Ports; p++ {
+			if !used[PortRef{n.ID, p}] {
+				t.Fatalf("%s port %d unwired", n.Name, p)
+			}
+		}
+	}
+}
+
+func TestFatTreePortConventions(t *testing.T) {
+	spec, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := 2
+	level := func(id NodeID) Level { return spec.Nodes[id].Level }
+	for _, l := range spec.Links {
+		a, b := spec.Nodes[l.A.Node], spec.Nodes[l.B.Node]
+		switch {
+		case a.Level == Host:
+			if b.Level != Edge || l.B.Port >= half {
+				t.Fatalf("host %s wired to %s port %d", a.Name, b.Name, l.B.Port)
+			}
+		case a.Level == Edge && b.Level == Aggregation:
+			if l.A.Port < half || l.B.Port >= half {
+				t.Fatalf("edge-agg ports %d,%d violate convention", l.A.Port, l.B.Port)
+			}
+			if a.Pod != b.Pod {
+				t.Fatal("edge and aggregation in different pods wired")
+			}
+		case a.Level == Aggregation && b.Level == Core:
+			if l.A.Port < half {
+				t.Fatalf("agg up-port %d below half", l.A.Port)
+			}
+			if l.B.Port != a.Pod {
+				t.Fatalf("core port %d must equal pod %d", l.B.Port, a.Pod)
+			}
+		}
+	}
+	_ = level
+}
+
+func TestFatTreeCoreGrouping(t *testing.T) {
+	// Core c = j*(k/2)+i must connect to aggregation position j in
+	// every pod — the structural property PortLand's fault handling
+	// leans on.
+	spec, err := FatTree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := 3
+	for _, l := range spec.Links {
+		a, b := spec.Nodes[l.A.Node], spec.Nodes[l.B.Node]
+		if a.Level != Aggregation || b.Level != Core {
+			continue
+		}
+		j := b.Position / half
+		if a.Position != j {
+			t.Fatalf("core %s (group %d) wired to agg position %d", b.Name, j, a.Position)
+		}
+	}
+}
+
+func TestSwitchAndHostLists(t *testing.T) {
+	spec, _ := FatTree(4)
+	if len(spec.Switches()) != 20 || len(spec.Hosts()) != 16 {
+		t.Fatalf("switches=%d hosts=%d", len(spec.Switches()), len(spec.Hosts()))
+	}
+	for _, id := range spec.Hosts() {
+		if spec.Nodes[id].Level != Host {
+			t.Fatal("Hosts() returned a switch")
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{Host: "host", Edge: "edge", Aggregation: "agg", Core: "core", Level(9): "level9"} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q", int(l), l.String())
+		}
+	}
+}

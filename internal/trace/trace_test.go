@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"time"
+
+	"portland/internal/arppkt"
+	"portland/internal/ether"
+)
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: time.Duration(i), Port: i})
+	}
+	ev := r.Events()
+	if r.Len() != 3 || len(ev) != 3 {
+		t.Fatalf("len %d/%d", r.Len(), len(ev))
+	}
+	for i, e := range ev {
+		if e.Port != i+2 {
+			t.Fatalf("events %v; want oldest-first 2,3,4", ev)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Port: 1})
+	r.Record(Event{Port: 2})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Port != 1 || ev[1].Port != 2 {
+		t.Fatalf("events %v", ev)
+	}
+	// Degenerate size is clamped.
+	if NewRing(0) == nil {
+		t.Fatal("nil ring")
+	}
+}
+
+func TestPcapFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := arppkt.Request(ether.Addr{2, 0, 0, 0, 0, 1}, ip4(10, 0, 0, 1), ip4(10, 0, 0, 2))
+	if err := w.WriteFrame(1500*time.Millisecond, f); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 1 {
+		t.Fatal("frame count")
+	}
+	b := buf.Bytes()
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != pcapMagic {
+		t.Fatalf("magic %08x", le.Uint32(b[0:]))
+	}
+	if le.Uint32(b[20:]) != pcapEthernet {
+		t.Fatal("linktype")
+	}
+	// Record header at offset 24.
+	if le.Uint32(b[24:]) != 1 { // seconds
+		t.Fatal("ts seconds")
+	}
+	if le.Uint32(b[28:]) != 500000 { // microseconds
+		t.Fatal("ts micros")
+	}
+	wire := f.Marshal()
+	if int(le.Uint32(b[32:])) != len(wire) || int(le.Uint32(b[36:])) != len(wire) {
+		t.Fatal("record lengths")
+	}
+	if !bytes.Equal(b[40:], wire) {
+		t.Fatal("record body is not the frame's wire bytes")
+	}
+}
+
+func ip4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+func TestEventString(t *testing.T) {
+	e := Event{At: time.Millisecond, Node: "edge-p0-s0", Port: 2, Dir: Egress,
+		Frame: &ether.Frame{Type: ether.TypeARP}}
+	s := e.String()
+	for _, want := range []string{"edge-p0-s0", "out", "ARP"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"portland/internal/core"
+)
+
+func TestPermutationIsDerangement(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		p := Permutation(r, n)
+		seen := make([]bool, n)
+		for i, v := range p {
+			if v < 0 || v >= n || v == i || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate sizes.
+	if len(Permutation(r, 0)) != 0 || len(Permutation(r, 1)) != 1 {
+		t.Fatal("degenerate sizes")
+	}
+}
+
+func TestCBRAndARPStormOnFabric(t *testing.T) {
+	f, err := core.NewFatTree(4, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.AwaitDiscovery(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hosts := f.HostList()
+	flow := StartCBR(f.Eng, hosts[0], hosts[7], 20000, time.Millisecond, 64)
+	f.RunFor(500 * time.Millisecond)
+	flow.Stop()
+	f.RunFor(100 * time.Millisecond)
+	if flow.Sent < 450 || flow.RX.Len() < 450 {
+		t.Fatalf("sent=%d rx=%d", flow.Sent, flow.RX.Len())
+	}
+	if loss := flow.Loss(); loss > 0.02 {
+		t.Fatalf("loss %.3f on an idle fabric", loss)
+	}
+	sentAtStop := flow.Sent
+	f.RunFor(200 * time.Millisecond)
+	if flow.Sent != sentAtStop {
+		t.Fatal("Stop did not stop the sender")
+	}
+
+	n := ARPStorm(hosts, 3)
+	if n != 3*len(hosts) {
+		t.Fatalf("storm size %d", n)
+	}
+	f.RunFor(2 * time.Second)
+	if got := f.Manager.Stats.ARPQueries; got < int64(n) {
+		t.Fatalf("manager saw %d ARP queries, want >= %d (caches were flushed)", got, n)
+	}
+}
+
+func TestPairCBRs(t *testing.T) {
+	f, err := core.NewFatTree(4, core.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.AwaitDiscovery(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hosts := f.HostList()
+	perm := Permutation(f.Eng.Rand(), len(hosts))
+	flows := PairCBRs(f.Eng, hosts, perm, 2*time.Millisecond, 64)
+	f.RunFor(time.Second)
+	for i, fl := range flows {
+		if fl.RX.Len() < 400 {
+			t.Errorf("flow %d delivered %d", i, fl.RX.Len())
+		}
+		fl.Stop()
+	}
+}
