@@ -1,0 +1,26 @@
+# Checks mirror what CI runs; `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: check build vet test race fuzz bench
+
+check: vet build test race fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the checked-in fuzz seed corpora (no new exploration; CI-safe).
+fuzz:
+	$(GO) test -run Fuzz ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -29,7 +29,7 @@ type experiment struct {
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,a1..a6) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,fmf,a1..a6) or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quick   = flag.Bool("quick", false, "reduced trial counts")
 	)
@@ -44,6 +44,7 @@ func main() {
 		{"f12", "Figure 12: TCP across VM live migration", runF12},
 		{"f13", "Figure 13: fabric-manager control traffic", runF13},
 		{"f14", "Figure 14: fabric-manager CPU requirement", runF14},
+		{"fmf", "Manager failover: ARP blackout + convergence vs outage/control loss", runFMF},
 		{"a1", "Ablation A1: ECMP vs spanning-tree cross-section goodput", runA1},
 		{"a2", "Ablation A2: LDP discovery time vs k", runA2},
 		{"a3", "Ablation A3: proxy ARP vs broadcast ARP cost", runA3},
@@ -169,6 +170,19 @@ func runF14(quick bool) error {
 		cfg.MeasureOps = 100000
 	}
 	res, err := experiments.RunFig14(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func runFMF(quick bool) error {
+	cfg := experiments.DefaultFMF()
+	if quick {
+		cfg.Outages = []time.Duration{100 * time.Millisecond, 400 * time.Millisecond}
+	}
+	res, err := experiments.RunFMF(cfg)
 	if err != nil {
 		return err
 	}

@@ -35,6 +35,15 @@ type Options struct {
 	// CtrlDelay is the one-way switch↔fabric-manager latency
 	// (default 20 µs, a rack-local control network).
 	CtrlDelay time.Duration
+	// CtrlLoss is the per-frame loss probability on the control
+	// network (default 0: lossless). Any positive value wraps every
+	// control channel in a Reliable go-back-N layer whose
+	// retransmits mask the loss.
+	CtrlLoss float64
+	// Standby provisions a warm-standby fabric manager that mirrors
+	// all switch→manager traffic and takes over (after a heartbeat
+	// timeout) when the primary is killed.
+	Standby bool
 	// LDP tunes the location-discovery timers.
 	LDP ldp.Config
 	// WireCheck round-trips every delivered frame through the real
@@ -64,13 +73,27 @@ type Fabric struct {
 	Opts    Options
 	Manager *fabricmgr.Manager
 
+	// Standby is the warm-standby manager (nil unless Options.Standby).
+	// After takeover it is also installed as Manager.
+	Standby *fabricmgr.Manager
+
 	Switches map[topo.NodeID]*pswitch.Switch
 	Hosts    map[topo.NodeID]*host.Host
 	// Links is parallel to Spec.Links.
 	Links []*sim.Link
 
-	// control conns per switch: [0]=switch side, [1]=manager side.
-	ctrl map[topo.NodeID][2]*ctrlnet.SimConn
+	// OnTakeover, if set, observes standby promotion (failover.go).
+	OnTakeover func(epoch uint32)
+
+	// control wiring per switch (failover.go).
+	ctrl map[topo.NodeID]*ctrlPair
+
+	// Control-plane survivability state (failover.go).
+	epoch     uint32
+	mgrDown   bool
+	tookOver  bool
+	lastBeat  time.Duration
+	hbPrimary *ctrlnet.SimConn
 
 	byName map[string]topo.NodeID
 }
@@ -94,8 +117,11 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 		Manager:  fabricmgr.New(),
 		Switches: make(map[topo.NodeID]*pswitch.Switch),
 		Hosts:    make(map[topo.NodeID]*host.Host),
-		ctrl:     make(map[topo.NodeID][2]*ctrlnet.SimConn),
+		ctrl:     make(map[topo.NodeID]*ctrlPair),
 		byName:   make(map[string]topo.NodeID),
+	}
+	if opts.Standby {
+		f.wireStandby()
 	}
 	hostIdx := 0
 	for _, n := range spec.Nodes {
@@ -109,12 +135,7 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 		default:
 			sw := pswitch.New(f.Eng, SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
 			f.Switches[n.ID] = sw
-			a, b := ctrlnet.SimPipe(f.Eng, opts.CtrlDelay)
-			a.SetHandler(sw.HandleCtrl)
-			sess := f.Manager.NewSession(b)
-			b.SetHandler(sess.Handle)
-			sw.SetControl(a)
-			f.ctrl[n.ID] = [2]*ctrlnet.SimConn{a, b}
+			f.wireControl(n.ID, sw)
 		}
 	}
 	for _, ls := range spec.Links {
@@ -279,15 +300,25 @@ func (f *Fabric) RecoverSwitch(name string) bool {
 }
 
 // ControlStats sums control-channel traffic in both directions:
-// toMgr is switch→manager, fromMgr is manager→switch.
+// toMgr is switch→manager, fromMgr is manager→switch. Standby mirror
+// channels are included when provisioned — a warm standby's traffic
+// is real control-network load.
 func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
+	acc := func(dst *ctrlnet.Stats, c *ctrlnet.SimConn) {
+		if c == nil {
+			return
+		}
+		s := c.Stats()
+		dst.Msgs += s.Msgs
+		dst.Bytes += s.Bytes
+		dst.Drops += s.Drops
+		dst.Corrupt += s.Corrupt
+	}
 	for _, pair := range f.ctrl {
-		s := pair[0].Stats()
-		toMgr.Msgs += s.Msgs
-		toMgr.Bytes += s.Bytes
-		s = pair[1].Stats()
-		fromMgr.Msgs += s.Msgs
-		fromMgr.Bytes += s.Bytes
+		acc(&toMgr, pair.swRaw)
+		acc(&toMgr, pair.sbSwRaw)
+		acc(&fromMgr, pair.mgrRaw)
+		acc(&fromMgr, pair.sbMgrRaw)
 	}
 	return toMgr, fromMgr
 }

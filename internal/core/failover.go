@@ -1,0 +1,213 @@
+// Fabric-manager survivability: manager kill/restart with soft-state
+// resync, the optional warm-standby manager, and the lossy-control-
+// channel wiring (Reliable wrappers over the switch↔manager pipes).
+package core
+
+import (
+	"time"
+
+	"portland/internal/ctrlmsg"
+	"portland/internal/ctrlnet"
+	"portland/internal/fabricmgr"
+	"portland/internal/pswitch"
+	"portland/internal/topo"
+)
+
+// Heartbeat cadence between the primary and the warm standby, and the
+// silence that triggers takeover.
+const (
+	hbInterval = 20 * time.Millisecond
+	hbTimeout  = 80 * time.Millisecond
+)
+
+// ctrlPair is the full control wiring for one switch: the raw pipe
+// ends (owning stats and up/down state) and the possibly
+// Reliable-wrapped Conns the protocol actually speaks over. The raw
+// pipe objects live for the fabric's lifetime — a manager restart
+// revives the same pipes, preserving byte counters and, under
+// CtrlLoss, the retransmit buffers that re-deliver everything the
+// dead manager missed.
+type ctrlPair struct {
+	swRaw, mgrRaw   *ctrlnet.SimConn
+	swConn, mgrConn ctrlnet.Conn
+
+	// Standby mirror channel (nil without Options.Standby).
+	sbSwRaw, sbMgrRaw   *ctrlnet.SimConn
+	sbSwConn, sbMgrConn ctrlnet.Conn
+}
+
+// muxConn fans a switch's control transmissions out to the primary
+// manager and the standby mirror, so the standby builds the same soft
+// state the primary does.
+type muxConn struct {
+	primary ctrlnet.Conn
+	mirror  ctrlnet.Conn
+}
+
+func (m *muxConn) Send(msg ctrlmsg.Msg) error {
+	_ = m.mirror.Send(msg)
+	return m.primary.Send(msg)
+}
+
+func (m *muxConn) Close() error {
+	_ = m.mirror.Close()
+	return m.primary.Close()
+}
+
+func (m *muxConn) Stats() ctrlnet.Stats { return m.primary.Stats() }
+func (m *muxConn) Err() error           { return m.primary.Err() }
+
+// wrapCtrl returns the Conn the protocol speaks over a raw pipe end.
+// On a lossless control network it is the bare pipe (zero overhead —
+// the Figure 13 byte counts stay exact); with CtrlLoss configured it
+// is a Reliable go-back-N channel whose retransmits mask the loss.
+func (f *Fabric) wrapCtrl(c *ctrlnet.SimConn) ctrlnet.Conn {
+	if f.Opts.CtrlLoss <= 0 {
+		return c
+	}
+	return ctrlnet.NewReliable(f.Eng, c, ctrlnet.ReliableConfig{})
+}
+
+// setCtrlHandler binds the receive function at whichever layer is
+// outermost.
+func setCtrlHandler(c ctrlnet.Conn, h ctrlnet.Handler) {
+	switch v := c.(type) {
+	case *ctrlnet.Reliable:
+		v.SetHandler(h)
+	case *ctrlnet.SimConn:
+		v.SetHandler(h)
+	}
+}
+
+func (f *Fabric) ctrlPipe() (raw1, raw2 *ctrlnet.SimConn) {
+	return ctrlnet.SimPipeCfg(f.Eng, ctrlnet.PipeConfig{
+		Delay:    f.Opts.CtrlDelay,
+		LossRate: f.Opts.CtrlLoss,
+	})
+}
+
+// wireControl connects one switch to the fabric manager (and, when
+// configured, the standby).
+func (f *Fabric) wireControl(id topo.NodeID, sw *pswitch.Switch) {
+	p := &ctrlPair{}
+	p.swRaw, p.mgrRaw = f.ctrlPipe()
+	p.swConn, p.mgrConn = f.wrapCtrl(p.swRaw), f.wrapCtrl(p.mgrRaw)
+	setCtrlHandler(p.swConn, sw.HandleCtrl)
+	sess := f.Manager.NewSession(p.mgrConn)
+	setCtrlHandler(p.mgrConn, sess.Handle)
+
+	var ctrl ctrlnet.Conn = p.swConn
+	if f.Standby != nil {
+		p.sbSwRaw, p.sbMgrRaw = f.ctrlPipe()
+		p.sbSwConn, p.sbMgrConn = f.wrapCtrl(p.sbSwRaw), f.wrapCtrl(p.sbMgrRaw)
+		setCtrlHandler(p.sbSwConn, sw.HandleCtrl)
+		sbSess := f.Standby.NewSession(p.sbMgrConn)
+		setCtrlHandler(p.sbMgrConn, sbSess.Handle)
+		ctrl = &muxConn{primary: p.swConn, mirror: p.sbSwConn}
+	}
+	sw.SetControl(ctrl)
+	f.ctrl[id] = p
+}
+
+// wireStandby sets up the passive mirror manager and the heartbeat
+// channel the takeover watchdog listens on. Called from Build before
+// the switches are wired.
+func (f *Fabric) wireStandby() {
+	f.Standby = fabricmgr.New()
+	f.Standby.SetPassive(true)
+	hbP, hbS := ctrlnet.SimPipe(f.Eng, f.Opts.CtrlDelay)
+	f.hbPrimary = hbP
+	hbS.SetHandler(func(m ctrlmsg.Msg) {
+		if _, ok := m.(ctrlmsg.Heartbeat); ok {
+			f.lastBeat = f.Eng.Now()
+		}
+	})
+	f.Eng.NewTicker(hbInterval, hbInterval, func() {
+		_ = hbP.Send(ctrlmsg.Heartbeat{Epoch: f.epoch})
+	})
+	f.Eng.NewTicker(hbInterval, hbInterval, func() {
+		if f.tookOver {
+			return
+		}
+		if f.Eng.Now()-f.lastBeat > hbTimeout {
+			f.takeover()
+		}
+	})
+}
+
+// takeover promotes the standby: it goes active, becomes f.Manager,
+// and resyncs the fabric to validate its mirrored state.
+func (f *Fabric) takeover() {
+	f.tookOver = true
+	f.epoch++
+	f.Standby.SetPassive(false)
+	f.Manager = f.Standby
+	f.Standby.BeginResync(f.epoch, f.standbyConns())
+	if f.OnTakeover != nil {
+		f.OnTakeover(f.epoch)
+	}
+}
+
+// TookOver reports whether the standby has assumed control.
+func (f *Fabric) TookOver() bool { return f.tookOver }
+
+// Epoch returns the current control-plane epoch: 0 at boot, bumped by
+// every manager restart or standby takeover.
+func (f *Fabric) Epoch() uint32 { return f.epoch }
+
+// KillManager crashes the fabric manager process. Its ends of every
+// control pipe go dead: frames from switches are silently discarded
+// (or, under CtrlLoss, parked in the switches' retransmit buffers)
+// and the manager transmits nothing — including heartbeats, which is
+// what the standby's watchdog notices. The fabric's dataplane keeps
+// forwarding on installed state; only reactive services (proxy ARP,
+// DHCP, new fault reactions) go dark.
+func (f *Fabric) KillManager() {
+	f.mgrDown = true
+	for _, id := range f.Spec.Switches() {
+		f.ctrl[id].mgrRaw.SetUp(false)
+	}
+	if f.hbPrimary != nil {
+		f.hbPrimary.SetUp(false)
+	}
+}
+
+// ManagerAlive reports whether the (primary) manager is running.
+func (f *Fabric) ManagerAlive() bool { return !f.mgrDown }
+
+// RestartManager boots a fresh, empty fabric manager on the same
+// control network and triggers the resync handshake: every switch
+// dumps its soft state (location, adjacency, host registry, leases,
+// group memberships) and the new manager rebuilds the registry, fault
+// matrix and multicast trees from scratch — the paper's §3.2
+// soft-state claim, exercised end-to-end. The returned manager is
+// also installed as f.Manager. Use f.Manager.SetOnSyncDone before
+// running the engine to observe resync completion.
+func (f *Fabric) RestartManager() *fabricmgr.Manager {
+	f.epoch++
+	f.mgrDown = false
+	m := fabricmgr.New()
+	f.Manager = m
+	conns := make([]ctrlnet.Conn, 0, len(f.ctrl))
+	for _, id := range f.Spec.Switches() {
+		p := f.ctrl[id]
+		p.mgrRaw.SetUp(true)
+		sess := m.NewSession(p.mgrConn)
+		setCtrlHandler(p.mgrConn, sess.Handle)
+		conns = append(conns, p.mgrConn)
+	}
+	if f.hbPrimary != nil {
+		f.hbPrimary.SetUp(true)
+	}
+	m.BeginResync(f.epoch, conns)
+	return m
+}
+
+// standbyConns returns the standby-side conns in blueprint order.
+func (f *Fabric) standbyConns() []ctrlnet.Conn {
+	conns := make([]ctrlnet.Conn, 0, len(f.ctrl))
+	for _, id := range f.Spec.Switches() {
+		conns = append(conns, f.ctrl[id].sbMgrConn)
+	}
+	return conns
+}

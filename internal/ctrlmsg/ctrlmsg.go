@@ -45,6 +45,12 @@ const (
 	KindMigrationUpdate
 	KindDHCPQuery
 	KindDHCPAnswer
+	KindStateSyncRequest
+	KindLeaseReport
+	KindSyncDone
+	KindHeartbeat
+	KindSeqData
+	KindSeqAck
 	kindMax
 )
 
@@ -53,6 +59,8 @@ var kindNames = [...]string{
 	"pmac-register", "arp-query", "arp-answer", "arp-flood",
 	"fault-notify", "route-exclude", "mcast-join", "mcast-install",
 	"migration-update", "dhcp-query", "dhcp-answer",
+	"state-sync-request", "lease-report", "sync-done", "heartbeat",
+	"seq-data", "seq-ack",
 }
 
 // String names the kind.
@@ -224,22 +232,75 @@ type DHCPAnswer struct {
 	IP      netip.Addr
 }
 
+// StateSyncRequest asks a switch to dump its entire soft state — the
+// resync handshake a freshly (re)started fabric manager uses to
+// rebuild its registry, location map, fault matrix, lease table and
+// multicast membership from the fabric itself (paper §3.2: the
+// manager holds soft state precisely so that it can be regenerated
+// this way). The switch answers with Hello, LocationReport, one
+// FaultNotify per known port, PMACRegister/LeaseReport/McastJoin
+// replays, and finally SyncDone carrying the same epoch.
+type StateSyncRequest struct {
+	Epoch uint32
+}
+
+// LeaseReport replays one DHCP lease an edge switch proxied, letting a
+// restarted fabric manager rebuild its lease table without reassigning
+// addresses already in use.
+type LeaseReport struct {
+	Switch SwitchID
+	MAC    ether.Addr
+	IP     netip.Addr
+}
+
+// SyncDone terminates a switch's answer to a StateSyncRequest.
+type SyncDone struct {
+	Switch SwitchID
+	Epoch  uint32
+}
+
+// Heartbeat is the primary fabric manager's liveness beacon to a warm
+// standby; a run of missed heartbeats triggers takeover.
+type Heartbeat struct {
+	Epoch uint32
+}
+
+// SeqData is the reliable-delivery envelope: a sequence number plus
+// any other control message. The ctrlnet.Reliable transport wraps
+// every message in one so that acknowledgment and retransmission work
+// over lossy control links.
+type SeqData struct {
+	Seq     uint64
+	Payload Msg
+}
+
+// SeqAck cumulatively acknowledges every SeqData with Seq < NextSeq.
+type SeqAck struct {
+	NextSeq uint64
+}
+
 // Kind implementations.
-func (Hello) Kind() Kind           { return KindHello }
-func (LocationReport) Kind() Kind  { return KindLocationReport }
-func (PodRequest) Kind() Kind      { return KindPodRequest }
-func (PodAssign) Kind() Kind       { return KindPodAssign }
-func (PMACRegister) Kind() Kind    { return KindPMACRegister }
-func (ARPQuery) Kind() Kind        { return KindARPQuery }
-func (ARPAnswer) Kind() Kind       { return KindARPAnswer }
-func (ARPFlood) Kind() Kind        { return KindARPFlood }
-func (FaultNotify) Kind() Kind     { return KindFaultNotify }
-func (RouteExclude) Kind() Kind    { return KindRouteExclude }
-func (McastJoin) Kind() Kind       { return KindMcastJoin }
-func (McastInstall) Kind() Kind    { return KindMcastInstall }
-func (MigrationUpdate) Kind() Kind { return KindMigrationUpdate }
-func (DHCPQuery) Kind() Kind       { return KindDHCPQuery }
-func (DHCPAnswer) Kind() Kind      { return KindDHCPAnswer }
+func (Hello) Kind() Kind            { return KindHello }
+func (LocationReport) Kind() Kind   { return KindLocationReport }
+func (PodRequest) Kind() Kind       { return KindPodRequest }
+func (PodAssign) Kind() Kind        { return KindPodAssign }
+func (PMACRegister) Kind() Kind     { return KindPMACRegister }
+func (ARPQuery) Kind() Kind         { return KindARPQuery }
+func (ARPAnswer) Kind() Kind        { return KindARPAnswer }
+func (ARPFlood) Kind() Kind         { return KindARPFlood }
+func (FaultNotify) Kind() Kind      { return KindFaultNotify }
+func (RouteExclude) Kind() Kind     { return KindRouteExclude }
+func (McastJoin) Kind() Kind        { return KindMcastJoin }
+func (McastInstall) Kind() Kind     { return KindMcastInstall }
+func (MigrationUpdate) Kind() Kind  { return KindMigrationUpdate }
+func (DHCPQuery) Kind() Kind        { return KindDHCPQuery }
+func (DHCPAnswer) Kind() Kind       { return KindDHCPAnswer }
+func (StateSyncRequest) Kind() Kind { return KindStateSyncRequest }
+func (LeaseReport) Kind() Kind      { return KindLeaseReport }
+func (SyncDone) Kind() Kind         { return KindSyncDone }
+func (Heartbeat) Kind() Kind        { return KindHeartbeat }
+func (SeqData) Kind() Kind          { return KindSeqData }
+func (SeqAck) Kind() Kind           { return KindSeqAck }
 
 type writer struct{ b []byte }
 
@@ -407,6 +468,22 @@ func Encode(m Msg) []byte {
 		w.u64(v.QueryID)
 		w.u32(v.XID)
 		w.ip(v.IP)
+	case StateSyncRequest:
+		w.u32(v.Epoch)
+	case LeaseReport:
+		w.u32(uint32(v.Switch))
+		w.mac(v.MAC)
+		w.ip(v.IP)
+	case SyncDone:
+		w.u32(uint32(v.Switch))
+		w.u32(v.Epoch)
+	case Heartbeat:
+		w.u32(v.Epoch)
+	case SeqData:
+		w.u64(v.Seq)
+		w.b = append(w.b, Encode(v.Payload)...)
+	case SeqAck:
+		w.u64(v.NextSeq)
 	default:
 		panic(fmt.Sprintf("ctrlmsg: cannot encode %T", m))
 	}
@@ -454,6 +531,32 @@ func Decode(b []byte) (Msg, error) {
 		m = DHCPQuery{Switch: SwitchID(r.u32()), QueryID: r.u64(), XID: r.u32(), ClientMAC: r.mac()}
 	case KindDHCPAnswer:
 		m = DHCPAnswer{QueryID: r.u64(), XID: r.u32(), IP: r.ip()}
+	case KindStateSyncRequest:
+		m = StateSyncRequest{Epoch: r.u32()}
+	case KindLeaseReport:
+		m = LeaseReport{Switch: SwitchID(r.u32()), MAC: r.mac(), IP: r.ip()}
+	case KindSyncDone:
+		m = SyncDone{Switch: SwitchID(r.u32()), Epoch: r.u32()}
+	case KindHeartbeat:
+		m = Heartbeat{Epoch: r.u32()}
+	case KindSeqData:
+		seq := r.u64()
+		if r.err != nil {
+			break
+		}
+		// The rest of the buffer is a complete nested encoding. Nested
+		// envelopes are rejected up front to bound the recursion.
+		if len(r.b) > 0 && Kind(r.b[0]) == KindSeqData {
+			return nil, fmt.Errorf("ctrlmsg: seq-data envelope nested inside seq-data")
+		}
+		inner, err := Decode(r.b)
+		if err != nil {
+			return nil, fmt.Errorf("decoding seq-data payload: %w", err)
+		}
+		r.b = nil
+		m = SeqData{Seq: seq, Payload: inner}
+	case KindSeqAck:
+		m = SeqAck{NextSeq: r.u64()}
 	default:
 		return nil, fmt.Errorf("ctrlmsg: unknown kind %d", uint8(k))
 	}

@@ -31,6 +31,13 @@ func TestAllKindsRoundTrip(t *testing.T) {
 		MigrationUpdate{IP: ip([4]byte{10, 99, 0, 1}), OldPMAC: ether.Addr{0, 1, 0, 0, 0, 1}, NewPMAC: ether.Addr{0, 3, 1, 1, 0, 1}},
 		DHCPQuery{Switch: 4, QueryID: 11, XID: 0xdeadbeef, ClientMAC: ether.Addr{2, 0, 0, 0, 0, 9}},
 		DHCPAnswer{QueryID: 11, XID: 0xdeadbeef, IP: ip([4]byte{10, 200, 0, 1})},
+		StateSyncRequest{Epoch: 3},
+		LeaseReport{Switch: 5, MAC: ether.Addr{2, 0, 0, 0, 0, 7}, IP: ip([4]byte{10, 200, 0, 2})},
+		SyncDone{Switch: 5, Epoch: 3},
+		Heartbeat{Epoch: 2},
+		SeqData{Seq: 77, Payload: ARPAnswer{QueryID: 99, Found: true, TargetIP: ip([4]byte{10, 0, 0, 3}), PMAC: ether.Addr{0, 2, 0, 0, 0, 1}}},
+		SeqData{Seq: 0, Payload: Hello{Switch: 1}},
+		SeqAck{NextSeq: 78},
 	}
 	for _, in := range msgs {
 		b := Encode(in)
@@ -59,6 +66,17 @@ func TestDecodeErrors(t *testing.T) {
 	// Trailing bytes.
 	if _, err := Decode(append(Encode(Hello{Switch: 1}), 0)); err == nil {
 		t.Fatal("trailing bytes must fail")
+	}
+	// Nested envelopes are rejected (bounds decoder recursion).
+	nested := Encode(SeqData{Seq: 1, Payload: Hello{Switch: 1}})
+	outer := append([]byte{byte(KindSeqData), 0, 0, 0, 0, 0, 0, 0, 2}, nested...)
+	if _, err := Decode(outer); err == nil {
+		t.Fatal("nested seq-data must fail")
+	}
+	// An envelope whose payload is corrupt must fail, not panic.
+	bad := Encode(SeqData{Seq: 9, Payload: PodAssign{Pod: 1}})
+	if _, err := Decode(bad[:len(bad)-1]); err == nil {
+		t.Fatal("truncated seq-data payload must fail")
 	}
 }
 

@@ -35,33 +35,66 @@ type Conn interface {
 	// Stats returns cumulative byte/message counters for this end's
 	// transmit direction.
 	Stats() Stats
+	// Err reports the first protocol-level error observed on the
+	// channel (e.g. a control frame that failed to decode), or nil.
+	// Errors that only discard one frame do not close the channel.
+	Err() error
 }
 
 // Stats counts one direction of a control channel.
 type Stats struct {
 	Msgs  int64
 	Bytes int64
+	// Drops counts transmitted frames that never reached the peer's
+	// handler: lost to the configured loss rate, to a down/closed
+	// peer, or discarded as corrupt.
+	Drops int64
+	// Corrupt counts received frames discarded because they failed to
+	// decode (a subset of the peer's Drops).
+	Corrupt int64
 }
 
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("ctrlnet: connection closed")
 
+// PipeConfig sets the physical properties of an in-simulator control
+// channel, mirroring sim.LinkConfig for data links.
+type PipeConfig struct {
+	// Delay is the one-way latency.
+	Delay time.Duration
+	// LossRate drops each frame independently with this probability
+	// (deterministic given the engine seed).
+	LossRate float64
+	// CorruptRate flips a byte of the encoded frame with this
+	// probability; the receiver counts and discards it.
+	CorruptRate float64
+}
+
 // SimConn is one end of an in-simulator pipe.
 type SimConn struct {
 	eng     *sim.Engine
-	delay   time.Duration
+	cfg     PipeConfig
 	peer    *SimConn
 	handler Handler
 	closed  bool
+	down    bool
 	stats   Stats
+	err     error
 }
 
 // SimPipe creates a bidirectional in-simulator control channel with
 // the given one-way delay. Attach receivers with SetHandler on each
 // end. Delivery order is FIFO per direction, as over TCP.
 func SimPipe(eng *sim.Engine, delay time.Duration) (a, b *SimConn) {
-	ca := &SimConn{eng: eng, delay: delay}
-	cb := &SimConn{eng: eng, delay: delay}
+	return SimPipeCfg(eng, PipeConfig{Delay: delay})
+}
+
+// SimPipeCfg creates a control channel with full physical
+// configuration: latency plus the loss/corruption rates the
+// control-plane hardening tests and the fmf experiment inject.
+func SimPipeCfg(eng *sim.Engine, cfg PipeConfig) (a, b *SimConn) {
+	ca := &SimConn{eng: eng, cfg: cfg}
+	cb := &SimConn{eng: eng, cfg: cfg}
 	ca.peer = cb
 	cb.peer = ca
 	return ca, cb
@@ -71,29 +104,64 @@ func SimPipe(eng *sim.Engine, delay time.Duration) (a, b *SimConn) {
 // peer end.
 func (c *SimConn) SetHandler(h Handler) { c.handler = h }
 
+// SetUp marks this end alive or dead. A dead end transmits nothing
+// and silently discards frames addressed to it — how a crashed fabric
+// manager looks to the switches on the other side of the control
+// network. Unlike Close, SetUp(true) revives the end.
+func (c *SimConn) SetUp(up bool) { c.down = !up }
+
+// Up reports whether the end is alive (neither down nor closed).
+func (c *SimConn) Up() bool { return !c.down && !c.closed }
+
 // Send implements Conn. The message is round-tripped through the wire
 // codec to keep the simulated and real transports byte-equivalent.
 func (c *SimConn) Send(m ctrlmsg.Msg) error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.down {
+		c.stats.Drops++
+		return nil // a dead process doesn't get an error, it gets silence
+	}
 	b := ctrlmsg.Encode(m)
 	c.stats.Msgs++
 	c.stats.Bytes += int64(len(b) + frameOverhead)
+	if c.cfg.LossRate > 0 && c.eng.Rand().Float64() < c.cfg.LossRate {
+		c.stats.Drops++
+		return nil
+	}
+	if c.cfg.CorruptRate > 0 && c.eng.Rand().Float64() < c.cfg.CorruptRate {
+		// Smash the kind byte: detectably corrupt (no valid kind has
+		// the high bit set), so every corruption event is observable
+		// at the receiver rather than silently decoding to garbage.
+		b = append([]byte(nil), b...)
+		b[0] ^= 0x80
+	}
 	peer := c.peer
-	c.eng.Schedule(c.delay, func() {
-		if peer.closed {
-			return
-		}
-		d, err := ctrlmsg.Decode(b)
-		if err != nil {
-			panic(fmt.Sprintf("ctrlnet: self-encoded message failed decode: %v", err))
-		}
-		if peer.handler != nil {
-			peer.handler(d)
-		}
-	})
+	c.eng.Schedule(c.cfg.Delay, func() { peer.deliverRaw(b) })
 	return nil
+}
+
+// deliverRaw decodes and dispatches one received frame. A frame that
+// fails to decode is counted and dropped — never fatal: a corrupted
+// control frame must cost one message, not the process.
+func (c *SimConn) deliverRaw(b []byte) {
+	if c.closed || c.down {
+		c.stats.Drops++
+		return
+	}
+	d, err := ctrlmsg.Decode(b)
+	if err != nil {
+		c.stats.Corrupt++
+		c.stats.Drops++
+		if c.err == nil {
+			c.err = fmt.Errorf("ctrlnet: discarding undecodable control frame: %w", err)
+		}
+		return
+	}
+	if c.handler != nil {
+		c.handler(d)
+	}
 }
 
 // Close implements Conn.
@@ -104,6 +172,9 @@ func (c *SimConn) Close() error {
 
 // Stats implements Conn.
 func (c *SimConn) Stats() Stats { return c.stats }
+
+// Err implements Conn: the first decode failure seen by this end.
+func (c *SimConn) Err() error { return c.err }
 
 // frameOverhead is the per-message framing cost (length prefix),
 // charged identically by both transports.
@@ -188,6 +259,11 @@ func (t *TCPConn) ReadErr() error {
 	defer t.mu.Unlock()
 	return t.readErr
 }
+
+// Err implements Conn; for TCP it is the read-loop error, since a
+// framing or decode failure on a byte stream loses synchronization
+// and terminates the session.
+func (t *TCPConn) Err() error { return t.ReadErr() }
 
 func (t *TCPConn) readLoop() {
 	defer close(t.done)

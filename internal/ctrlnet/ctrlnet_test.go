@@ -199,6 +199,152 @@ func TestTCPConnOverLoopback(t *testing.T) {
 	}
 }
 
+// TestSimPipeCorruptFrameCountedNotFatal is the hardening guarantee:
+// a control frame that fails to decode costs one message, never the
+// process. The corrupted frame is counted in the receiver's stats and
+// surfaced via Err(), and later frames still flow.
+func TestSimPipeCorruptFrameCountedNotFatal(t *testing.T) {
+	eng := sim.New(7)
+	a, b := SimPipeCfg(eng, PipeConfig{Delay: time.Microsecond, CorruptRate: 1})
+	var got []ctrlmsg.Msg
+	b.SetHandler(func(m ctrlmsg.Msg) { got = append(got, m) })
+	if err := a.Send(ctrlmsg.Hello{Switch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 0 {
+		t.Fatalf("corrupted frame was delivered: %v", got)
+	}
+	bs := b.Stats()
+	if bs.Corrupt != 1 || bs.Drops != 1 {
+		t.Fatalf("receiver stats %+v, want Corrupt=1 Drops=1", bs)
+	}
+	if b.Err() == nil {
+		t.Fatal("decode failure not surfaced via Err()")
+	}
+	// The channel survives: turn corruption off and send again.
+	a.cfg.CorruptRate = 0
+	if err := a.Send(ctrlmsg.PodAssign{Pod: 2}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 || got[0] != (ctrlmsg.PodAssign{Pod: 2}) {
+		t.Fatalf("channel dead after corrupt frame: %v", got)
+	}
+}
+
+func TestSimPipeLossRate(t *testing.T) {
+	eng := sim.New(3)
+	a, b := SimPipeCfg(eng, PipeConfig{Delay: time.Microsecond, LossRate: 0.5})
+	n := 0
+	b.SetHandler(func(ctrlmsg.Msg) { n++ })
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		_ = a.Send(ctrlmsg.Hello{Switch: 1})
+	}
+	eng.Run()
+	s := a.Stats()
+	if s.Drops == 0 || n == 0 {
+		t.Fatalf("loss rate 0.5 delivered %d, dropped %d", n, s.Drops)
+	}
+	if n+int(s.Drops) != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", n, s.Drops, sent)
+	}
+	if n < sent/4 || n > 3*sent/4 {
+		t.Fatalf("delivered %d of %d at loss 0.5; loss model skewed", n, sent)
+	}
+}
+
+// TestSimPipeSetUp models a crashed process: a down end neither
+// transmits nor receives, and reviving it restores the channel
+// without losing accumulated stats.
+func TestSimPipeSetUp(t *testing.T) {
+	eng := sim.New(1)
+	a, b := SimPipe(eng, time.Microsecond)
+	n := 0
+	b.SetHandler(func(ctrlmsg.Msg) { n++ })
+	_ = a.Send(ctrlmsg.Hello{Switch: 1})
+	eng.Run()
+
+	b.SetUp(false)
+	if b.Up() {
+		t.Fatal("down end reports Up")
+	}
+	_ = a.Send(ctrlmsg.Hello{Switch: 2}) // dropped at the dead receiver
+	_ = b.Send(ctrlmsg.Hello{Switch: 3}) // a dead process sends nothing
+	eng.Run()
+	if n != 1 {
+		t.Fatalf("dead end received a frame: n=%d", n)
+	}
+	if b.Stats().Drops != 2 {
+		t.Fatalf("stats %+v, want 2 drops (1 rx, 1 tx)", b.Stats())
+	}
+
+	b.SetUp(true)
+	_ = a.Send(ctrlmsg.Hello{Switch: 4})
+	eng.Run()
+	if n != 2 {
+		t.Fatalf("revived end did not receive: n=%d", n)
+	}
+	if s := a.Stats(); s.Msgs != 3 {
+		t.Fatalf("sender stats lost across peer restart: %+v", s)
+	}
+}
+
+// TestReliableOverLossyPipe: with 30% control loss in both
+// directions, every message still arrives exactly once and in order.
+func TestReliableOverLossyPipe(t *testing.T) {
+	eng := sim.New(11)
+	a, b := SimPipeCfg(eng, PipeConfig{Delay: 50 * time.Microsecond, LossRate: 0.3})
+	ra := NewReliable(eng, a, ReliableConfig{})
+	rb := NewReliable(eng, b, ReliableConfig{})
+	var got []uint64
+	rb.SetHandler(func(m ctrlmsg.Msg) { got = append(got, m.(ctrlmsg.ARPQuery).QueryID) })
+	ra.SetHandler(func(ctrlmsg.Msg) {})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ra.Send(ctrlmsg.ARPQuery{Switch: 1, QueryID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, q := range got {
+		if q != uint64(i) {
+			t.Fatalf("out of order or duplicated at %d: %d", i, q)
+		}
+	}
+	if ra.Retransmits == 0 {
+		t.Fatal("30% loss produced no retransmits")
+	}
+	if ra.Pending() != 0 {
+		t.Fatalf("%d messages never acked", ra.Pending())
+	}
+}
+
+// TestReliableNoOverheadWhenIdle: the wrapper must not generate
+// spontaneous traffic — only Sends and their acks touch the wire.
+func TestReliableQuiescent(t *testing.T) {
+	eng := sim.New(1)
+	a, b := SimPipe(eng, time.Microsecond)
+	ra := NewReliable(eng, a, ReliableConfig{})
+	rb := NewReliable(eng, b, ReliableConfig{})
+	rb.SetHandler(func(ctrlmsg.Msg) {})
+	_ = ra.Send(ctrlmsg.Hello{Switch: 1})
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events still queued after quiesce", eng.Pending())
+	}
+	if a.Stats().Msgs != 1 || b.Stats().Msgs != 1 {
+		t.Fatalf("wire traffic %+v / %+v, want 1 data + 1 ack", a.Stats(), b.Stats())
+	}
+	if ra.Retransmits != 0 {
+		t.Fatalf("lossless channel retransmitted %d", ra.Retransmits)
+	}
+}
+
 func TestTCPConnRejectsOversizedFrame(t *testing.T) {
 	ca, cb := net.Pipe()
 	b := NewTCPConn(cb, nil)

@@ -27,6 +27,12 @@ type Rig struct {
 	Seed uint64
 	Link sim.LinkConfig
 	LDP  ldp.Config
+	// CtrlLoss is the loss probability on every switch↔manager
+	// control channel. Zero keeps the channels lossless (and
+	// overhead-free: the Figure 13 byte counts stay exact); anything
+	// positive makes critical control exchanges ride the reliable
+	// (ack + retransmit) wrapper.
+	CtrlLoss float64
 }
 
 // DefaultRig mirrors the paper's testbed scale.
@@ -35,7 +41,7 @@ func DefaultRig() Rig {
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss})
 	if err != nil {
 		return nil, err
 	}

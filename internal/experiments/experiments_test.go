@@ -242,6 +242,100 @@ func TestFig9SwitchFailures(t *testing.T) {
 	}
 }
 
+func TestFMFSmall(t *testing.T) {
+	cfg := DefaultFMF()
+	cfg.Outages = []time.Duration{100 * time.Millisecond}
+	res, err := RunFMF(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // one outage × {lossless, 10% loss}
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ARPBlackout < 0 {
+			t.Errorf("loss=%.2f: cold ARP never resolved", row.CtrlLoss)
+			continue
+		}
+		// The cold ARP cannot resolve while the manager is dark, and
+		// must resolve shortly after restart+resync.
+		if row.ARPBlackout < row.Outage {
+			t.Errorf("loss=%.2f: blackout %v shorter than the outage %v", row.CtrlLoss, row.ARPBlackout, row.Outage)
+		}
+		if row.ARPBlackout > row.Outage+1500*time.Millisecond {
+			t.Errorf("loss=%.2f: blackout %v far exceeds outage+recovery", row.CtrlLoss, row.ARPBlackout)
+		}
+		if row.ResyncRound < 0 || row.ResyncRound > 500*time.Millisecond {
+			t.Errorf("loss=%.2f: resync round %v", row.CtrlLoss, row.ResyncRound)
+		}
+		if row.Dead > 0 {
+			t.Errorf("loss=%.2f: %d flows never re-converged", row.CtrlLoss, row.Dead)
+		}
+		if row.FlowConv <= 0 || row.FlowConv > 1500*time.Millisecond {
+			t.Errorf("loss=%.2f: flow convergence %v out of band", row.CtrlLoss, row.FlowConv)
+		}
+		if row.CtrlLoss > 0 && row.CtrlDrops == 0 {
+			t.Errorf("loss=%.2f dropped nothing; loss not exercised", row.CtrlLoss)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Manager failover") {
+		t.Error("Print output malformed")
+	}
+}
+
+// The lossy-control-plane acceptance criterion: the convergence
+// experiments still complete with finite convergence when every
+// control frame has a 10% loss probability — the reliable channel's
+// retransmits mask the loss, at a latency cost bounded by a few RTOs.
+func TestFig9UnderControlLoss(t *testing.T) {
+	cfg := DefaultFig9()
+	cfg.Rig.CtrlLoss = 0.1
+	cfg.MaxFaults = 2
+	cfg.Trials = 1
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Dead > 0 {
+			t.Errorf("faults=%d: %d flows never recovered under control loss", row.Faults, row.Dead)
+		}
+		if row.Failure.N > 0 && row.Failure.Median > 600 {
+			t.Errorf("faults=%d: median convergence %.1f ms; retransmits should bound it", row.Faults, row.Failure.Median)
+		}
+	}
+}
+
+func TestFig10UnderControlLoss(t *testing.T) {
+	cfg := DefaultFig10()
+	cfg.Rig.CtrlLoss = 0.1
+	res, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gap < 50*time.Millisecond || res.Gap > time.Second {
+		t.Fatalf("TCP delivery gap %v under control loss", res.Gap)
+	}
+}
+
+func TestFig11UnderControlLoss(t *testing.T) {
+	cfg := DefaultFig11()
+	cfg.Rig.CtrlLoss = 0.1
+	cfg.Trials = 1
+	res, err := RunFig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dead > 0 {
+		t.Fatalf("%d receivers never recovered under control loss", res.Dead)
+	}
+	if res.Convergence.N > 0 && res.Convergence.Median > 600 {
+		t.Fatalf("multicast convergence median %.1f ms under control loss", res.Convergence.Median)
+	}
+}
+
 // TestAllPrintersProduceOutput smoke-tests every result printer: each
 // must emit its title and at least one data row without panicking.
 func TestAllPrintersProduceOutput(t *testing.T) {

@@ -93,11 +93,11 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 			}
 			feasible++
 			failAt := f.Eng.Now()
-			if cfg.Mode == FailSwitches {
-				faults.CrashAll(f, crashed)
-			} else {
-				faults.FailAll(f, links)
+			ev := faults.Event{Links: links, Switches: crashed}
+			if cfg.MeasureRecovery {
+				ev.Duration = 1 * time.Second
 			}
+			faults.Schedule{Events: []faults.Event{ev}}.Apply(f)
 			f.RunFor(1 * time.Second)
 
 			for _, fl := range flows {
@@ -113,12 +113,7 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 			}
 
 			if cfg.MeasureRecovery {
-				restoreAt := f.Eng.Now()
-				if cfg.Mode == FailSwitches {
-					faults.RecoverAll(f, crashed)
-				} else {
-					faults.RestoreAll(f, links)
-				}
+				restoreAt := failAt + ev.Duration // armed by the schedule
 				f.RunFor(1 * time.Second)
 				for _, fl := range flows {
 					conv, recovered := fl.RX.ConvergenceAfter(restoreAt, cfg.ProbeEvery)

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"portland/internal/faults"
+	"portland/internal/metrics"
+	"portland/internal/topo"
+	"portland/internal/workload"
+)
+
+// FMFConfig parameterizes the fabric-manager-failover experiment: how
+// long the control plane can be dark, and how lossy its channels can
+// be, before the fabric's reactive services degrade past the paper's
+// soft-state story (§3.2: all manager state is rebuildable from the
+// fabric; an outage costs availability of *new* resolutions, never
+// installed forwarding state).
+type FMFConfig struct {
+	Rig        Rig
+	Outages    []time.Duration // manager dead time per cell
+	CtrlLoss   []float64       // control-channel loss rate per series
+	ProbeEvery time.Duration   // CBR probe interval
+}
+
+// DefaultFMF sweeps outages from one heartbeat to many against a
+// lossless and a 10%-loss control plane.
+func DefaultFMF() FMFConfig {
+	return FMFConfig{
+		Rig:        DefaultRig(),
+		Outages:    []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond},
+		CtrlLoss:   []float64{0, 0.1},
+		ProbeEvery: 1 * time.Millisecond,
+	}
+}
+
+// FMFRow is one (outage, loss) cell.
+type FMFRow struct {
+	Outage   time.Duration
+	CtrlLoss float64
+
+	// ARPBlackout: a cold ARP issued the instant the manager dies
+	// cannot resolve until the manager returns and resyncs; this is
+	// the attempt→first-delivery time of that flow. The paper's
+	// availability cost of a manager outage, measured end to end.
+	ARPBlackout time.Duration
+
+	// ResyncRound: restart → last switch's SyncDone.
+	ResyncRound time.Duration
+
+	// FlowConv: worst-case SteadyAfter convergence of the warm CBR
+	// flows after a link fails mid-outage — the fault sits unrepaired
+	// until the restarted manager replays adjacency and re-derives
+	// exclusions.
+	FlowConv time.Duration
+
+	Dead      int   // flows that never re-converged
+	CtrlDrops int64 // control frames lost (loss rate + dead-manager discard)
+}
+
+// FMFResult is the full sweep.
+type FMFResult struct {
+	Cfg  FMFConfig
+	Rows []FMFRow
+}
+
+// RunFMF measures manager-failover behavior: for each cell, warm a
+// permutation CBR workload, kill the manager, fail a loaded agg-core
+// link mid-outage, restart the manager after the outage, and measure
+// the ARP blackout, the resync round, and how long flows crossing the
+// dead link stay black.
+func RunFMF(cfg FMFConfig) (*FMFResult, error) {
+	res := &FMFResult{Cfg: cfg}
+	cell := 0
+	for _, loss := range cfg.CtrlLoss {
+		for _, outage := range cfg.Outages {
+			cell++
+			rig := cfg.Rig
+			rig.Seed = cfg.Rig.Seed + uint64(cell)
+			rig.CtrlLoss = loss
+			f, err := rig.build()
+			if err != nil {
+				return nil, err
+			}
+			hosts := f.HostList()
+			perm := workload.Permutation(f.Eng.Rand(), len(hosts))
+			flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+			f.RunFor(500 * time.Millisecond)
+
+			link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
+			if err != nil {
+				return nil, err
+			}
+
+			killAt := f.Eng.Now()
+			linkFailAt := killAt + outage/2
+			restartAt := killAt + outage
+			var resyncAt time.Duration
+			faults.Schedule{Events: []faults.Event{
+				{
+					Manager:  true,
+					Duration: outage,
+					OnRecover: func() {
+						f.Manager.SetOnSyncDone(func(uint32) { resyncAt = f.Eng.Now() })
+					},
+				},
+				// The fault the dead manager cannot react to.
+				{At: outage / 2, Links: []int{link}},
+			}}.Apply(f)
+
+			// Cold ARP at the kill instant: flush and resolve afresh.
+			// The probe repeats rather than firing once — a lone
+			// datagram can hash onto the link that fails mid-outage
+			// and die before the restarted manager's exclusions land,
+			// which would read as an infinite blackout when ARP
+			// service is in fact back.
+			cold, target := hosts[2], hosts[len(hosts)-3]
+			cold.FlushARP(target.IP())
+			coldFlow := workload.StartCBR(f.Eng, cold, target, 7300, cfg.ProbeEvery, 64)
+
+			f.RunFor(outage + 2*time.Second)
+
+			coldFlow.Stop()
+			row := FMFRow{Outage: outage, CtrlLoss: loss}
+			if first, ok := coldFlow.RX.ConvergenceAfter(killAt, 0); ok {
+				row.ARPBlackout = first
+			} else {
+				row.ARPBlackout = -1 // never delivered
+			}
+			if resyncAt > 0 {
+				row.ResyncRound = resyncAt - restartAt
+			} else {
+				row.ResyncRound = -1
+			}
+			for _, fl := range flows {
+				steady, ok := fl.RX.SteadyAfter(linkFailAt, 2*cfg.ProbeEvery)
+				if !ok {
+					row.Dead++
+					continue
+				}
+				if conv := steady - linkFailAt; conv > row.FlowConv {
+					row.FlowConv = conv
+				}
+				fl.Stop()
+			}
+			toMgr, fromMgr := f.ControlStats()
+			row.CtrlDrops = toMgr.Drops + fromMgr.Drops
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print tabulates the sweep.
+func (r *FMFResult) Print(w io.Writer) {
+	fprintf(w, "Manager failover — ARP blackout and convergence vs outage and control loss\n")
+	fprintf(w, "(k=%d fat tree, probe interval %v; blackout measured from the kill instant)\n",
+		r.Cfg.Rig.K, r.Cfg.ProbeEvery)
+	hr(w)
+	fprintf(w, "%8s %6s  %13s %12s %13s %5s %10s\n",
+		"outage", "loss", "ARP blackout", "resync", "flow conv", "dead", "ctrl drops")
+	for _, row := range r.Rows {
+		blackout, resync := "never", "never"
+		if row.ARPBlackout >= 0 {
+			blackout = metrics.FmtMs(row.ARPBlackout)
+		}
+		if row.ResyncRound >= 0 {
+			resync = metrics.FmtMs(row.ResyncRound)
+		}
+		fprintf(w, "%8v %6.2f  %13s %12s %13s %5d %10d\n",
+			row.Outage, row.CtrlLoss, blackout, resync,
+			metrics.FmtMs(row.FlowConv), row.Dead, row.CtrlDrops)
+	}
+	fprintf(w, "\n")
+}

@@ -120,6 +120,21 @@ type Manager struct {
 
 	nextPod uint16
 
+	// passive suppresses all transmissions: a warm standby mirrors
+	// the control stream to build state but must stay silent until
+	// promoted (resync.go).
+	passive bool
+
+	// Resync bookkeeping: the epoch being collected, how many
+	// switches have yet to answer it, and the completion callback.
+	// ARP misses that race the resync are parked in pendingARP and
+	// re-served once the fabric has fully reported — a miss during
+	// resync is indistinguishable from a host not yet replayed.
+	syncEpoch   uint32
+	syncWaiting int
+	onSyncDone  func(epoch uint32)
+	pendingARP  []ctrlmsg.ARPQuery
+
 	// Stats is the manager's counter block.
 	Stats Counters
 }
@@ -170,6 +185,7 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 	switch v := msg.(type) {
 	case ctrlmsg.LocationReport:
 		m.locs[v.Switch] = v.Loc
+		m.notePod(v.Loc.Pod)
 		m.recomputeRoutes()
 	case ctrlmsg.PodRequest:
 		pod := m.nextPod
@@ -185,10 +201,17 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 		m.handleJoin(v)
 	case ctrlmsg.DHCPQuery:
 		m.handleDHCP(v)
+	case ctrlmsg.LeaseReport:
+		m.noteLease(v.MAC, v.IP)
+	case ctrlmsg.SyncDone:
+		m.handleSyncDone(v)
 	}
 }
 
 func (m *Manager) send(id ctrlmsg.SwitchID, msg ctrlmsg.Msg) {
+	if m.passive {
+		return
+	}
 	if c, ok := m.conns[id]; ok {
 		_ = c.Send(msg)
 	}
@@ -230,9 +253,24 @@ func (m *Manager) register(v ctrlmsg.PMACRegister) {
 // ports.
 func (m *Manager) handleARP(v ctrlmsg.ARPQuery) {
 	m.Stats.ARPQueries++
+	m.serveARP(v)
+}
+
+// serveARP answers one query from the registry. A miss while a resync
+// is outstanding is parked rather than flooded: the target may simply
+// not have been replayed yet, and a flood keyed off a half-built
+// location map would go nowhere. Parked queries are re-served the
+// moment the last switch reports (handleSyncDone) — which is what
+// lets a fresh ARP issued the instant a manager restarts resolve
+// within one resync round instead of a full host-side retry.
+func (m *Manager) serveARP(v ctrlmsg.ARPQuery) {
 	if rec, ok := m.ips[v.TargetIP]; ok {
 		m.Stats.ARPHits++
 		m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: true, TargetIP: v.TargetIP, PMAC: rec.pmac})
+		return
+	}
+	if m.syncWaiting > 0 {
+		m.pendingARP = append(m.pendingARP, v)
 		return
 	}
 	m.Stats.ARPMisses++
@@ -273,8 +311,10 @@ func (m *Manager) handleFault(v ctrlmsg.FaultNotify) {
 		}
 	}
 	m.locs[v.Switch] = v.LocalLoc
+	m.notePod(v.LocalLoc.Pod)
 	if _, known := m.locs[v.PeerID]; !known || v.PeerLoc.Level != ctrlmsg.LevelUnknown {
 		m.locs[v.PeerID] = v.PeerLoc
+		m.notePod(v.PeerLoc.Pod)
 	}
 	if v.Down {
 		m.Stats.FaultEvents++

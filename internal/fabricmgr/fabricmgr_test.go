@@ -18,6 +18,7 @@ type recConn struct {
 func (c *recConn) Send(m ctrlmsg.Msg) error { c.msgs = append(c.msgs, m); return nil }
 func (c *recConn) Close() error             { return nil }
 func (c *recConn) Stats() ctrlnet.Stats     { return ctrlnet.Stats{} }
+func (c *recConn) Err() error               { return nil }
 
 func (c *recConn) excludes() map[ctrlmsg.RouteExclude]bool {
 	set := make(map[ctrlmsg.RouteExclude]bool)

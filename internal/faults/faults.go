@@ -25,8 +25,10 @@ func SwitchLinks(spec *topo.Spec) []int {
 }
 
 // PickConnected samples n distinct switch-link indices whose joint
-// removal keeps every host pair connected. It panics only on
-// impossible requests after many rejections (ok=false instead).
+// removal keeps every host pair fat-tree-routable. It never panics:
+// if n exceeds the live switch links, or rejection sampling fails to
+// find a routable combination after many attempts, it returns
+// ok=false and the caller decides how to degrade.
 func PickConnected(r *rand.Rand, f *core.Fabric, n int) ([]int, bool) {
 	cand := SwitchLinks(f.Spec)
 	// Exclude links already down.

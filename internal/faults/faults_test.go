@@ -98,6 +98,88 @@ func TestPickConnectedImpossible(t *testing.T) {
 	}
 }
 
+func TestPickConnectedExhaustsRejectionSampling(t *testing.T) {
+	f := build(t)
+	// 30 of the 32 switch links is a feasible *count* but can never
+	// preserve routability at k=4, so every sample is rejected and
+	// the sampler must give up with ok=false — not panic, not loop.
+	if _, ok := PickConnected(f.Eng.Rand(), f, 30); ok {
+		t.Fatal("routability-breaking pick accepted")
+	}
+}
+
+func TestScheduleFailsAndRecovers(t *testing.T) {
+	f := build(t)
+	li, ok := f.LinkBetween("agg-p0-s0", "core-0")
+	if !ok {
+		t.Fatal("no agg-core link")
+	}
+	var sw topo.NodeID = -1
+	for _, n := range f.Spec.Nodes {
+		if n.Name == "agg-p1-s0" {
+			sw = n.ID
+		}
+	}
+	if sw < 0 {
+		t.Fatal("agg-p1-s0 not in blueprint")
+	}
+	base := f.Eng.Now()
+	var failedAt, recoveredAt time.Duration
+	Schedule{Events: []Event{{
+		At:        100 * time.Millisecond,
+		Duration:  200 * time.Millisecond,
+		Links:     []int{li},
+		Switches:  []topo.NodeID{sw},
+		OnFail:    func() { failedAt = f.Eng.Now() },
+		OnRecover: func() { recoveredAt = f.Eng.Now() },
+	}}}.Apply(f)
+
+	f.RunFor(150 * time.Millisecond)
+	if f.Links[li].Up() {
+		t.Fatal("link up after scheduled failure")
+	}
+	if !f.Switches[sw].Failed() {
+		t.Fatal("switch alive after scheduled crash")
+	}
+	f.RunFor(200 * time.Millisecond)
+	if !f.Links[li].Up() {
+		t.Fatal("link down after scheduled recovery")
+	}
+	if f.Switches[sw].Failed() {
+		t.Fatal("switch dead after scheduled recovery")
+	}
+	if failedAt != base+100*time.Millisecond || recoveredAt != base+300*time.Millisecond {
+		t.Fatalf("hooks at %v/%v, want %v/%v", failedAt, recoveredAt,
+			base+100*time.Millisecond, base+300*time.Millisecond)
+	}
+}
+
+func TestScheduleManagerOutage(t *testing.T) {
+	f := build(t)
+	var restarted bool
+	Schedule{Events: []Event{{
+		At:       50 * time.Millisecond,
+		Duration: 100 * time.Millisecond,
+		Manager:  true,
+		OnRecover: func() {
+			restarted = true
+			// f.Manager is already the fresh instance here.
+			f.Manager.SetOnSyncDone(func(uint32) {})
+		},
+	}}}.Apply(f)
+	f.RunFor(100 * time.Millisecond)
+	if f.ManagerAlive() {
+		t.Fatal("manager alive mid-outage")
+	}
+	f.RunFor(200 * time.Millisecond)
+	if !restarted || f.ManagerAlive() != true {
+		t.Fatal("manager not restarted by schedule")
+	}
+	if f.Manager.SyncPending() != 0 {
+		t.Fatalf("resync incomplete: %d pending", f.Manager.SyncPending())
+	}
+}
+
 func TestFailRestoreAll(t *testing.T) {
 	f := build(t)
 	links := []int{SwitchLinks(f.Spec)[0], SwitchLinks(f.Spec)[5]}

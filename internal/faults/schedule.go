@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"time"
+
+	"portland/internal/core"
+	"portland/internal/topo"
+)
+
+// Event is one scheduled fault: the named links and/or switches fail
+// (and the fabric manager dies, if Manager is set) At after the
+// schedule is applied; a positive Duration recovers everything
+// Duration later. A zero Duration makes the fault permanent.
+type Event struct {
+	At       time.Duration
+	Duration time.Duration
+	Links    []int         // blueprint link indices to fail
+	Switches []topo.NodeID // switches to crash
+	Manager  bool          // kill the fabric manager (recovery = restart + resync)
+
+	// Optional instrumentation hooks, run in the simulation event
+	// that performs the action, after it completes. OnRecover of a
+	// Manager event runs after RestartManager, so f.Manager is
+	// already the fresh instance — the place to hang SetOnSyncDone.
+	OnFail    func()
+	OnRecover func()
+}
+
+// Schedule is a reproducible fault scenario: the same event list the
+// convergence experiments (Figure 9 and its switch-failure variant,
+// the manager-failover sweep) all consume, instead of each hand-rolling
+// its own fail/restore timing.
+type Schedule struct {
+	Events []Event
+}
+
+// Apply arms every event on the fabric's engine, relative to now.
+// The engine must subsequently run (RunFor/RunUntil) past the event
+// times for the faults to take effect.
+func (s Schedule) Apply(f *core.Fabric) {
+	for _, e := range s.Events {
+		ev := e
+		f.Eng.Schedule(ev.At, func() {
+			FailAll(f, ev.Links)
+			CrashAll(f, ev.Switches)
+			if ev.Manager {
+				f.KillManager()
+			}
+			if ev.OnFail != nil {
+				ev.OnFail()
+			}
+		})
+		if ev.Duration <= 0 {
+			continue
+		}
+		f.Eng.Schedule(ev.At+ev.Duration, func() {
+			RestoreAll(f, ev.Links)
+			RecoverAll(f, ev.Switches)
+			if ev.Manager {
+				f.RestartManager()
+			}
+			if ev.OnRecover != nil {
+				ev.OnRecover()
+			}
+		})
+	}
+}

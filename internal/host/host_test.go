@@ -10,6 +10,7 @@ import (
 	"portland/internal/grouppkt"
 	"portland/internal/ippkt"
 	"portland/internal/sim"
+	"portland/internal/tcplite"
 )
 
 // wire connects two hosts back-to-back (no switch) — enough to
@@ -21,6 +22,37 @@ func wire(t *testing.T) (*sim.Engine, *Host, *Host) {
 	b := New(eng, "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
 	sim.Connect(eng, a, 0, b, 0, sim.LinkConfig{Rate: 1e9, Delay: time.Microsecond, QueueFrames: 64})
 	return eng, a, b
+}
+
+// TestTCPOverLossyLink: a bulk TCP transfer across a data-plane link
+// with 10% i.i.d. frame loss must still complete — RTO and fast
+// retransmit recover every lost segment, and the loss is visible in
+// the retransmission counters rather than in missing bytes.
+func TestTCPOverLossyLink(t *testing.T) {
+	eng := sim.New(3)
+	a := New(eng, "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
+	b := New(eng, "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
+	sim.Connect(eng, a, 0, b, 0, sim.LinkConfig{
+		Rate: 1e9, Delay: 10 * time.Microsecond, QueueFrames: 64, LossRate: 0.1,
+	})
+
+	const total = 256 << 10
+	var srv *tcplite.Conn
+	b.Endpoint().ListenTCP(80, func(c *tcplite.Conn) { srv = c })
+	cli := a.Endpoint().DialTCP(b.IP(), 40000, 80, tcplite.Config{})
+	cli.Queue(total)
+	eng.RunUntil(30 * time.Second)
+
+	if srv == nil {
+		t.Fatal("connection never established through the lossy link")
+	}
+	if got := srv.Delivered(); got != total {
+		t.Fatalf("delivered %d of %d bytes; transfer did not converge", got, total)
+	}
+	if cli.Stats.Retransmits == 0 {
+		t.Fatal("10%% loss caused no retransmissions; loss not exercised")
+	}
+	t.Logf("converged: %d retransmits, %d RTO events", cli.Stats.Retransmits, cli.Stats.Timeouts)
 }
 
 func TestARPResolveAndSend(t *testing.T) {

@@ -40,6 +40,27 @@ func (r *Recorder) ConvergenceAfter(at, nominal time.Duration) (time.Duration, b
 	return d, true
 }
 
+// SteadyAfter finds the instant a disrupted flow became steady again:
+// the earliest event time t > at such that every later inter-event
+// gap is at most maxGap through the end of the recording. Unlike
+// ConvergenceAfter (time to *first* event after the fault), this
+// detects full convergence — a flow that limps through a flapping
+// path delivers early stragglers long before its gaps settle. The
+// boolean is false when no event follows at.
+func (r *Recorder) SteadyAfter(at, maxGap time.Duration) (time.Duration, bool) {
+	i := sort.Search(len(r.Times), func(i int) bool { return r.Times[i] > at })
+	if i == len(r.Times) {
+		return 0, false
+	}
+	steady := r.Times[i]
+	for j := i + 1; j < len(r.Times); j++ {
+		if r.Times[j]-r.Times[j-1] > maxGap {
+			steady = r.Times[j]
+		}
+	}
+	return steady, true
+}
+
 // MaxGap returns the largest inter-event gap with both endpoints in
 // [from, to], along with the time the gap started.
 func (r *Recorder) MaxGap(from, to time.Duration) (start, gap time.Duration) {

@@ -34,6 +34,41 @@ func TestConvergenceAfter(t *testing.T) {
 	}
 }
 
+func TestSteadyAfter(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 50; i++ { // steady every 1ms until 49ms
+		r.Record(ms(i))
+	}
+	r.Record(ms(120)) // straggler through a flapping path
+	r.Record(ms(121))
+	r.Record(ms(200)) // second outage, then genuinely steady
+	for i := 201; i <= 250; i++ {
+		r.Record(ms(i))
+	}
+
+	// ConvergenceAfter sees the straggler at 120ms; SteadyAfter sees
+	// through it to the final uninterrupted run starting at 200ms.
+	conv, ok := r.ConvergenceAfter(ms(50), ms(1))
+	if !ok || conv != ms(69) {
+		t.Fatalf("ConvergenceAfter=%v ok=%v, want 69ms", conv, ok)
+	}
+	steady, ok := r.SteadyAfter(ms(50), ms(2))
+	if !ok || steady != ms(200) {
+		t.Fatalf("SteadyAfter=%v ok=%v, want 200ms", steady, ok)
+	}
+
+	// Inside an already-steady region, the first event after at wins.
+	steady, ok = r.SteadyAfter(ms(210), ms(2))
+	if !ok || steady != ms(211) {
+		t.Fatalf("steady-region SteadyAfter=%v, want 211ms", steady)
+	}
+
+	// Nothing after at: not converged.
+	if _, ok := r.SteadyAfter(ms(300), ms(2)); ok {
+		t.Fatal("steady reported after the trace ended")
+	}
+}
+
 func TestMaxGap(t *testing.T) {
 	var r Recorder
 	r.Record(ms(10))

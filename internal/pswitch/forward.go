@@ -53,6 +53,11 @@ func (s *Switch) fromHost(port int, f *ether.Frame) {
 			s.Stats.Dropped++
 			return
 		}
+		if p.Join {
+			s.joins[joinKey{group: p.Group, pmac: pm.Addr()}] = p.Source
+		} else {
+			delete(s.joins, joinKey{group: p.Group, pmac: pm.Addr()})
+		}
 		s.sendCtrl(ctrlmsg.McastJoin{
 			Switch:   s.id,
 			Group:    p.Group,
@@ -104,7 +109,7 @@ func (s *Switch) puntARP(port int, hostMAC ether.Addr, p *arppkt.Packet) {
 	s.Stats.ARPPunts++
 	s.nextQueryID++
 	id := s.nextQueryID
-	s.pending[id] = pendingARP{hostPort: port, hostMAC: hostMAC, hostIP: p.SenderIP}
+	s.pending[id] = pendingARP{hostPort: port, hostMAC: hostMAC, hostIP: p.SenderIP, targetIP: p.TargetIP}
 	// Bound the parked-request table: answers normally arrive in
 	// microseconds; anything older than a host ARP retry is dead.
 	s.eng.Schedule(pendingARPTTL, func() { delete(s.pending, id) })
@@ -158,6 +163,7 @@ func (s *Switch) handleDHCPAnswer(v ctrlmsg.DHCPAnswer) {
 	}
 	delete(s.pendingDHCP, v.QueryID)
 	s.Stats.DHCPProxied++
+	s.leases[p.clientMAC] = v.IP
 	ack := &dhcppkt.Packet{Op: dhcppkt.OpAck, XID: p.xid, ClientMAC: p.clientMAC, YourIP: v.IP}
 	s.send(p.hostPort, &ether.Frame{
 		Dst:  p.clientMAC,

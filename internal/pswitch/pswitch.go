@@ -45,6 +45,7 @@ type pendingARP struct {
 	hostPort int
 	hostMAC  ether.Addr
 	hostIP   netip.Addr
+	targetIP netip.Addr
 }
 
 type pendingDHCPReq struct {
@@ -90,6 +91,12 @@ type Switch struct {
 	migrated map[ether.Addr]migrationEntry
 	flows    *flowtable.Table
 
+	// Soft state mirrored for manager resync: DHCP leases this switch
+	// proxied (client MAC → IP) and active group memberships punted
+	// upward (value: source flag). Both replay on StateSyncRequest.
+	leases map[ether.Addr]netip.Addr
+	joins  map[joinKey]bool
+
 	failed bool
 
 	// Tap, if non-nil, observes every frame the switch receives
@@ -115,6 +122,8 @@ func New(eng *sim.Engine, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.C
 		excl:        make(map[exclKey]bool),
 		mcast:       make(map[uint32][]int),
 		migrated:    make(map[ether.Addr]migrationEntry),
+		leases:      make(map[ether.Addr]netip.Addr),
+		joins:       make(map[joinKey]bool),
 	}
 	s.flows = flowtable.New(eng.Now, 0)
 	s.agent = ldp.New(eng, (*agentEnv)(s), cfg)
@@ -173,6 +182,8 @@ func (s *Switch) Recover() {
 	s.excl = make(map[exclKey]bool)
 	s.mcast = make(map[uint32][]int)
 	s.migrated = make(map[ether.Addr]migrationEntry)
+	s.leases = make(map[ether.Addr]netip.Addr)
+	s.joins = make(map[joinKey]bool)
 	s.flows = flowtable.New(s.eng.Now, 0)
 	s.agent = ldp.New(s.eng, (*agentEnv)(s), s.ldpCfg)
 	s.Start()
@@ -370,6 +381,8 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 		s.handleMigrationUpdate(v)
 	case ctrlmsg.DHCPAnswer:
 		s.handleDHCPAnswer(v)
+	case ctrlmsg.StateSyncRequest:
+		s.resync(v.Epoch)
 	default:
 		// Benign: newer fabric managers may speak extra kinds.
 	}
@@ -419,6 +432,12 @@ func (s *Switch) handleMigrationUpdate(v ctrlmsg.MigrationUpdate) {
 	if amac, ok := s.table.LookupPMAC(v.OldPMAC); ok {
 		s.table.Remove(amac)
 		delete(s.ipOf, amac)
+	}
+	// Membership followed the VM; never replay it from the old edge.
+	for k := range s.joins {
+		if k.pmac == v.OldPMAC {
+			delete(s.joins, k)
+		}
 	}
 	// The transient entry self-expires; the paper keeps it only long
 	// enough to invalidate stale neighbor caches.
