@@ -1,10 +1,11 @@
 # Checks mirror what CI runs; `make check` is the pre-commit gate.
 
 GO ?= go
+DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench bench-json profile
 
-check: vet build test race fuzz
+check: vet build test race fuzz bench
 
 build:
 	$(GO) build ./...
@@ -22,5 +23,17 @@ race:
 fuzz:
 	$(GO) test -run Fuzz ./...
 
+# One iteration per benchmark: a smoke test that they still compile
+# and run, not a measurement.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
+
+# Full benchmark sweep serialized into a dated JSON baseline.
+bench-json:
+	$(GO) test -bench . -benchmem -run '^$$' ./... > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_$(DATE).json < bench.out
+	rm -f bench.out
+
+# CPU + heap profiles of the Figure 9 sweep, for pprof.
+profile:
+	$(GO) run ./cmd/portland-bench -quick -exp f9 -cpuprofile cpu.prof -memprofile mem.prof

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkEngineSchedule-8   14203933   83.55 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("well-formed line rejected")
+	}
+	if b.Name != "BenchmarkEngineSchedule-8" || b.Iterations != 14203933 {
+		t.Fatalf("bad header: %+v", b)
+	}
+	want := map[string]float64{"ns/op": 83.55, "B/op": 0, "allocs/op": 0}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"ok  \tportland/internal/sim\t0.006s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkOdd-8 100 5", // missing unit
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -9,16 +9,22 @@
 //	portland-bench -exp f9,f13     # run a subset
 //	portland-bench -list           # list experiment IDs
 //	portland-bench -quick          # reduced trial counts (CI-sized)
+//	portland-bench -parallel 4     # worker-pool size (0 = GOMAXPROCS)
+//	portland-bench -serial         # force one worker (escape hatch)
+//	portland-bench -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"portland/internal/experiments"
+	"portland/internal/runner"
 )
 
 type experiment struct {
@@ -28,12 +34,55 @@ type experiment struct {
 }
 
 func main() {
+	// All work happens in run so deferred profile flushes survive the
+	// error paths (os.Exit here would skip them).
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,fmf,a1..a6) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "reduced trial counts")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,fmf,a1..a6) or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "reduced trial counts")
+		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		serial     = flag.Bool("serial", false, "run sweeps on one worker (same output, for bisecting)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *serial {
+		runner.SetWorkers(1)
+	} else {
+		runner.SetWorkers(*parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	exps := []experiment{
 		{"t1", "Table 1: technique comparison + forwarding-state proxy", runT1},
@@ -57,7 +106,7 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("%-4s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -73,10 +122,11 @@ func main() {
 		}
 		if err := e.run(*quick); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 func runT1(quick bool) error {

@@ -10,6 +10,7 @@ package codec
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"portland/internal/arppkt"
 	"portland/internal/baseline"
@@ -79,16 +80,28 @@ func DecodeFrame(b []byte) (*ether.Frame, error) {
 	return f, nil
 }
 
+// verifyBufs is the pair of scratch wire buffers one VerifyFrame call
+// needs. They are pooled — WireCheck runs on every delivered frame,
+// and with the parallel experiment runner on many engines at once —
+// so the marshal side of the check is allocation-free at steady state.
+type verifyBufs struct{ a, b []byte }
+
+var verifyPool = sync.Pool{New: func() any { return new(verifyBufs) }}
+
 // VerifyFrame asserts that the typed frame marshals, re-decodes, and
 // re-marshals to identical bytes — the invariant that makes the
 // simulator's typed fast path equivalent to a byte-level network.
 func VerifyFrame(f *ether.Frame) error {
-	wire := f.Marshal()
+	bufs := verifyPool.Get().(*verifyBufs)
+	defer verifyPool.Put(bufs)
+	wire := f.AppendTo(bufs.a[:0])
+	bufs.a = wire[:0] // keep the grown capacity for the next frame
 	back, err := DecodeFrame(wire)
 	if err != nil {
 		return fmt.Errorf("wire check: decode failed: %w", err)
 	}
-	wire2 := back.Marshal()
+	wire2 := back.AppendTo(bufs.b[:0])
+	bufs.b = wire2[:0]
 	if !bytes.Equal(wire, wire2) {
 		return fmt.Errorf("wire check: re-marshal differs for %v (%d vs %d bytes)", f, len(wire), len(wire2))
 	}

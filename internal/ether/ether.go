@@ -152,14 +152,11 @@ func (f *Frame) WireSize() int {
 	return n
 }
 
-// Marshal renders the frame header and payload (without FCS or pad) to
-// a fresh byte slice.
-func (f *Frame) Marshal() []byte {
-	n := HeaderLen
-	if f.Payload != nil {
-		n += f.Payload.WireSize()
-	}
-	b := make([]byte, 0, n)
+// AppendTo appends the frame header and payload wire bytes (without
+// FCS or pad) to b and returns the extended slice. Callers on hot
+// paths reuse one buffer across frames instead of paying Marshal's
+// per-frame allocation.
+func (f *Frame) AppendTo(b []byte) []byte {
 	b = append(b, f.Dst[:]...)
 	b = append(b, f.Src[:]...)
 	b = append(b, byte(f.Type>>8), byte(f.Type))
@@ -167,6 +164,16 @@ func (f *Frame) Marshal() []byte {
 		b = f.Payload.AppendTo(b)
 	}
 	return b
+}
+
+// Marshal renders the frame header and payload (without FCS or pad) to
+// a fresh byte slice.
+func (f *Frame) Marshal() []byte {
+	n := HeaderLen
+	if f.Payload != nil {
+		n += f.Payload.WireSize()
+	}
+	return f.AppendTo(make([]byte, 0, n))
 }
 
 // ErrTruncated reports a buffer too short to contain the structure

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
 )
@@ -22,8 +23,16 @@ type A5Result struct {
 }
 
 // RunA5 starts many random inter-pod flows and counts data frames per
-// core switch.
+// core switch. Single engine — one runner cell.
 func RunA5(k, flows int) (*A5Result, error) {
+	out, err := runner.Map(1, func(int) (*A5Result, error) { return runA5Cell(k, flows) })
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+func runA5Cell(k, flows int) (*A5Result, error) {
 	rig := DefaultRig()
 	rig.K = k
 	f, err := rig.build()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/runner"
 )
 
 // A6Row is one locality class's round-trip-time distribution.
@@ -24,8 +25,17 @@ type A6Result struct {
 	Rows []A6Row
 }
 
-// RunA6 pings representative pairs in each locality class.
+// RunA6 pings representative pairs in each locality class. Single
+// engine — one runner cell.
 func RunA6(k, probes int) (*A6Result, error) {
+	out, err := runner.Map(1, func(int) (*A6Result, error) { return runA6Cell(k, probes) })
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+func runA6Cell(k, probes int) (*A6Result, error) {
 	rig := DefaultRig()
 	rig.K = k
 	f, err := rig.build()

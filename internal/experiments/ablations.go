@@ -11,6 +11,7 @@ import (
 	"portland/internal/host"
 	"portland/internal/ldp"
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/sim"
 	"portland/internal/topo"
 	"portland/internal/workload"
@@ -42,31 +43,36 @@ type A1Result struct {
 // RunA1 sends one CBR flow per left-half host to a distinct
 // right-half host at near line rate and measures aggregate goodput.
 // PortLand spreads the flows over every core; the spanning tree
-// funnels them through its single surviving root path.
+// funnels them through its single surviving root path. The two
+// fabrics are independent engines and run as two runner cells.
 func RunA1(cfg A1Config) (*A1Result, error) {
-	res := &A1Result{Cfg: cfg}
-
-	// PortLand.
-	rig := DefaultRig()
-	rig.K = cfg.K
-	f, err := rig.build()
+	mbps, err := runner.Map(2, func(i int) (float64, error) {
+		if i == 0 {
+			// PortLand.
+			rig := DefaultRig()
+			rig.K = cfg.K
+			f, err := rig.build()
+			if err != nil {
+				return 0, err
+			}
+			return crossSectionGoodput(f.Eng, f.HostList(), cfg), nil
+		}
+		// Baseline.
+		spec, err := topo.FatTree(cfg.K)
+		if err != nil {
+			return 0, err
+		}
+		bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
+		bf.Start()
+		if err := bf.AwaitTree(20 * time.Second); err != nil {
+			return 0, err
+		}
+		return crossSectionGoodput(bf.Eng, bf.HostList(), cfg), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.PortLandMbps = crossSectionGoodput(f.Eng, f.HostList(), cfg)
-
-	// Baseline.
-	spec, err := topo.FatTree(cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
-	bf.Start()
-	if err := bf.AwaitTree(20 * time.Second); err != nil {
-		return nil, err
-	}
-	res.BaselineMbps = crossSectionGoodput(bf.Eng, bf.HostList(), cfg)
-
+	res := &A1Result{Cfg: cfg, PortLandMbps: mbps[0], BaselineMbps: mbps[1]}
 	if res.BaselineMbps > 0 {
 		res.Speedup = res.PortLandMbps / res.BaselineMbps
 	}
@@ -131,13 +137,14 @@ type A2Result struct {
 }
 
 // RunA2 measures the virtual time from cold boot until every switch
-// has resolved its location.
+// has resolved its location; each degree boots on its own engine, one
+// runner cell per k.
 func RunA2(ks []int) (*A2Result, error) {
-	res := &A2Result{}
-	for _, k := range ks {
+	rows, err := runner.Map(len(ks), func(i int) (A2Row, error) {
+		k := ks[i]
 		f, err := core.NewFatTree(k, core.Options{Seed: 1})
 		if err != nil {
-			return nil, err
+			return A2Row{}, err
 		}
 		f.Start()
 		deadline := 60 * time.Second
@@ -145,18 +152,21 @@ func RunA2(ks []int) (*A2Result, error) {
 			f.Eng.RunUntil(f.Eng.Now() + time.Millisecond)
 		}
 		if !f.AllResolved() {
-			return nil, errDiscoveryStalled
+			return A2Row{}, errDiscoveryStalled
 		}
 		if err := f.CheckDiscovery(); err != nil {
-			return nil, err
+			return A2Row{}, err
 		}
-		res.Rows = append(res.Rows, A2Row{
+		return A2Row{
 			K:         k,
 			Switches:  len(f.Spec.Switches()),
 			Discovery: f.Eng.Now(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &A2Result{Rows: rows}, nil
 }
 
 const errDiscoveryStalled = errString("a2: discovery did not complete")
@@ -185,15 +195,41 @@ type A3Result struct {
 	HostsHearing float64 // hosts disturbed per resolution (baseline)
 }
 
+// a3Half carries one fabric's share of the A3 measurement; the two
+// fabrics are independent engines and run as two runner cells.
+type a3Half struct {
+	ctrlMsgs     float64
+	dataFrames   float64
+	hostsHearing float64
+}
+
 // RunA3 measures per-resolution cost in both fabrics.
 func RunA3(k int, resolutions int) (*A3Result, error) {
-	res := &A3Result{K: k}
+	halves, err := runner.Map(2, func(i int) (a3Half, error) {
+		if i == 0 {
+			return runA3PortLand(k, resolutions)
+		}
+		return runA3Baseline(k, resolutions)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &A3Result{
+		K:            k,
+		PLCtrlMsgs:   halves[0].ctrlMsgs,
+		PLDataFrames: halves[0].dataFrames,
+		BLDataFrames: halves[1].dataFrames,
+		HostsHearing: halves[1].hostsHearing,
+	}, nil
+}
 
+func runA3PortLand(k, resolutions int) (a3Half, error) {
+	var out a3Half
 	rig := DefaultRig()
 	rig.K = k
 	f, err := rig.build()
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	// Pre-measure the LDP keepalive background so it can be
 	// subtracted from the storm window.
@@ -209,17 +245,21 @@ func RunA3(k int, resolutions int) (*A3Result, error) {
 	f.RunFor(window)
 	toMgr1, fromMgr1 := f.ControlStats()
 	delivered1 := linkDelivered(f.Links)
-	res.PLCtrlMsgs = float64(toMgr1.Msgs-toMgr0.Msgs+fromMgr1.Msgs-fromMgr0.Msgs) / float64(n)
-	res.PLDataFrames = (float64(delivered1-delivered0) - bgPerSec*window.Seconds()) / float64(n)
+	out.ctrlMsgs = float64(toMgr1.Msgs-toMgr0.Msgs+fromMgr1.Msgs-fromMgr0.Msgs) / float64(n)
+	out.dataFrames = (float64(delivered1-delivered0) - bgPerSec*window.Seconds()) / float64(n)
+	return out, nil
+}
 
+func runA3Baseline(k, resolutions int) (a3Half, error) {
+	var out a3Half
 	spec, err := topo.FatTree(k)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
 	bf.Start()
 	if err := bf.AwaitTree(20 * time.Second); err != nil {
-		return nil, err
+		return out, err
 	}
 	// Pre-measure the BPDU background rate.
 	bbg0 := linkDelivered(bf.Links)
@@ -239,13 +279,13 @@ func RunA3(k int, resolutions int) (*A3Result, error) {
 	for _, h := range bf.HostList() {
 		hostsIn1 += h.Stats.FramesIn
 	}
-	res.BLDataFrames = (float64(bDelivered1-bDelivered0) - bBgPerSec*bWindow.Seconds()) / float64(bn)
+	out.dataFrames = (float64(bDelivered1-bDelivered0) - bBgPerSec*bWindow.Seconds()) / float64(bn)
 	// Hosts also hear periodic BPDUs on their access links; subtract
 	// that background (one BPDU per host per hello).
 	hello := baseline.DefaultConfig.Hello
 	bpduPerHost := bWindow.Seconds() / hello.Seconds()
-	res.HostsHearing = float64(hostsIn1-hostsIn0)/float64(bn) - bpduPerHost*float64(len(bf.HostList()))/float64(bn)
-	return res, nil
+	out.hostsHearing = float64(hostsIn1-hostsIn0)/float64(bn) - bpduPerHost*float64(len(bf.HostList()))/float64(bn)
+	return out, nil
 }
 
 // Print emits the comparison.
@@ -279,46 +319,69 @@ type A4Result struct {
 	Rows []A4Row
 }
 
+// a4Trial is one (interval, trial) cell's contribution.
+type a4Trial struct {
+	sample    float64
+	hasSample bool
+	ldmRate   float64
+}
+
+func runA4Cell(iv time.Duration, trial int) (a4Trial, error) {
+	var out a4Trial
+	rig := DefaultRig()
+	rig.Seed = uint64(trial) + 1
+	rig.LDP = ldp.Config{Interval: iv}
+	f, err := rig.build()
+	if err != nil {
+		return out, err
+	}
+	hosts := f.HostList()
+	flow := workload.StartCBR(f.Eng, hosts[0], hosts[len(hosts)-1], 22000, time.Millisecond, 64)
+	f.RunFor(500 * time.Millisecond)
+
+	var ldm0 int64
+	for _, id := range f.Spec.Switches() {
+		ldm0 += f.Switches[id].Agent().LDMsSent
+	}
+	link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
+	if err != nil {
+		return out, err
+	}
+	failAt := f.Eng.Now()
+	f.FailLink(link)
+	f.RunFor(2 * time.Second)
+	var ldm1 int64
+	for _, id := range f.Spec.Switches() {
+		ldm1 += f.Switches[id].Agent().LDMsSent
+	}
+	out.ldmRate = float64(ldm1-ldm0) / 2.1 / float64(len(f.Spec.Switches()))
+
+	if conv, ok := flow.RX.ConvergenceAfter(failAt, time.Millisecond); ok && conv > 2*time.Millisecond {
+		out.sample, out.hasSample = metrics.Ms(conv), true
+	}
+	flow.Stop()
+	return out, nil
+}
+
 // RunA4 sweeps the LDM interval, measuring failure convergence (the
-// gain) against keepalive overhead (the cost).
+// gain) against keepalive overhead (the cost). The (interval, trial)
+// grid fans out over the runner pool and merges in sweep order.
 func RunA4(intervals []time.Duration, trials int) (*A4Result, error) {
+	cells, err := runner.Grid(len(intervals), trials, func(point, trial int) (a4Trial, error) {
+		return runA4Cell(intervals[point], trial)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &A4Result{}
-	for _, iv := range intervals {
+	for p, iv := range intervals {
 		var samples []float64
 		var ldmRate float64
-		for trial := 0; trial < trials; trial++ {
-			rig := DefaultRig()
-			rig.Seed = uint64(trial) + 1
-			rig.LDP = ldp.Config{Interval: iv}
-			f, err := rig.build()
-			if err != nil {
-				return nil, err
+		for _, tr := range cells[p] {
+			if tr.hasSample {
+				samples = append(samples, tr.sample)
 			}
-			hosts := f.HostList()
-			flow := workload.StartCBR(f.Eng, hosts[0], hosts[len(hosts)-1], 22000, time.Millisecond, 64)
-			f.RunFor(500 * time.Millisecond)
-
-			var ldm0 int64
-			for _, id := range f.Spec.Switches() {
-				ldm0 += f.Switches[id].Agent().LDMsSent
-			}
-			link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
-			if err != nil {
-				return nil, err
-			}
-			failAt := f.Eng.Now()
-			f.FailLink(link)
-			f.RunFor(2 * time.Second)
-			var ldm1 int64
-			for _, id := range f.Spec.Switches() {
-				ldm1 += f.Switches[id].Agent().LDMsSent
-			}
-			ldmRate += float64(ldm1-ldm0) / 2.1 / float64(len(f.Spec.Switches()))
-
-			if conv, ok := flow.RX.ConvergenceAfter(failAt, time.Millisecond); ok && conv > 2*time.Millisecond {
-				samples = append(samples, metrics.Ms(conv))
-			}
-			flow.Stop()
+			ldmRate += tr.ldmRate
 		}
 		res.Rows = append(res.Rows, A4Row{
 			Interval:    iv,

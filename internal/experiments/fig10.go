@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/tcplite"
 	"portland/internal/topo"
 )
@@ -47,7 +48,18 @@ type Fig10Result struct {
 
 // RunFig10 reproduces Figure 10: one inter-pod bulk TCP flow, fail a
 // link on its path, record the sequence trace and the delivery gap.
+// The experiment is a single engine, so it rides the runner as one
+// cell — gaining the shared -serial/-parallel and profiling plumbing
+// rather than any speedup.
 func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
+	out, err := runner.Map(1, func(int) (*Fig10Result, error) { return runFig10Cell(cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+func runFig10Cell(cfg Fig10Config) (*Fig10Result, error) {
 	f, err := cfg.Rig.build()
 	if err != nil {
 		return nil, err

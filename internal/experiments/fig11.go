@@ -6,6 +6,7 @@ import (
 
 	"portland/internal/ether"
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/topo"
 )
 
@@ -31,56 +32,76 @@ type Fig11Result struct {
 	Dead        int
 }
 
-// RunFig11 reproduces Figure 11.
+// fig11Trial is one trial's contribution, merged in trial order.
+type fig11Trial struct {
+	samples []float64
+	dead    int
+}
+
+func runFig11Cell(cfg Fig11Config, trial int) (fig11Trial, error) {
+	var out fig11Trial
+	rig := cfg.Rig
+	rig.Seed = cfg.Rig.Seed + uint64(trial)
+	f, err := rig.build()
+	if err != nil {
+		return out, err
+	}
+	const group = 0x3000
+	sender := f.HostByName("host-p0-e0-h0")
+	receivers := []string{"host-p1-e0-h0", "host-p2-e1-h1", "host-p3-e0-h1"}
+	recs := make([]*metrics.Recorder, len(receivers))
+	for i, name := range receivers {
+		rec := &metrics.Recorder{}
+		recs[i] = rec
+		f.HostByName(name).Endpoint().JoinGroup(group, false, func(*ether.Frame) { rec.Record(f.Eng.Now()) })
+	}
+	sender.Endpoint().JoinGroup(group, true, nil)
+	f.RunFor(50 * time.Millisecond)
+	f.Eng.NewTicker(cfg.SendEvery, 0, func() {
+		sender.Endpoint().SendGroup(group, 5000, 5000, 256)
+	})
+	f.RunFor(300 * time.Millisecond)
+
+	link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
+	if err != nil {
+		// Single-core tree may keep all traffic intra-pod on the
+		// agg-edge legs; fail the busiest of those instead.
+		link, err = busiestLink(f, 100*time.Millisecond, topo.Edge, topo.Aggregation)
+		if err != nil {
+			return out, err
+		}
+	}
+	failAt := f.Eng.Now()
+	f.FailLink(link)
+	f.RunFor(1 * time.Second)
+
+	for _, rec := range recs {
+		conv, ok := rec.ConvergenceAfter(failAt, cfg.SendEvery)
+		if !ok {
+			out.dead++
+			continue
+		}
+		if conv > 2*cfg.SendEvery {
+			out.samples = append(out.samples, metrics.Ms(conv))
+		}
+	}
+	return out, nil
+}
+
+// RunFig11 reproduces Figure 11. Trials are independent engines, fanned
+// out over the runner pool and merged in trial order.
 func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
+	cells, err := runner.Map(cfg.Trials, func(trial int) (fig11Trial, error) {
+		return runFig11Cell(cfg, trial)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig11Result{Cfg: cfg}
 	var samples []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		rig := cfg.Rig
-		rig.Seed = cfg.Rig.Seed + uint64(trial)
-		f, err := rig.build()
-		if err != nil {
-			return nil, err
-		}
-		const group = 0x3000
-		sender := f.HostByName("host-p0-e0-h0")
-		receivers := []string{"host-p1-e0-h0", "host-p2-e1-h1", "host-p3-e0-h1"}
-		recs := make([]*metrics.Recorder, len(receivers))
-		for i, name := range receivers {
-			rec := &metrics.Recorder{}
-			recs[i] = rec
-			f.HostByName(name).Endpoint().JoinGroup(group, false, func(*ether.Frame) { rec.Record(f.Eng.Now()) })
-		}
-		sender.Endpoint().JoinGroup(group, true, nil)
-		f.RunFor(50 * time.Millisecond)
-		f.Eng.NewTicker(cfg.SendEvery, 0, func() {
-			sender.Endpoint().SendGroup(group, 5000, 5000, 256)
-		})
-		f.RunFor(300 * time.Millisecond)
-
-		link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
-		if err != nil {
-			// Single-core tree may keep all traffic intra-pod on the
-			// agg-edge legs; fail the busiest of those instead.
-			link, err = busiestLink(f, 100*time.Millisecond, topo.Edge, topo.Aggregation)
-			if err != nil {
-				return nil, err
-			}
-		}
-		failAt := f.Eng.Now()
-		f.FailLink(link)
-		f.RunFor(1 * time.Second)
-
-		for _, rec := range recs {
-			conv, ok := rec.ConvergenceAfter(failAt, cfg.SendEvery)
-			if !ok {
-				res.Dead++
-				continue
-			}
-			if conv > 2*cfg.SendEvery {
-				samples = append(samples, metrics.Ms(conv))
-			}
-		}
+	for _, tr := range cells {
+		samples = append(samples, tr.samples...)
+		res.Dead += tr.dead
 	}
 	res.Convergence = metrics.Summarize(samples)
 	return res, nil

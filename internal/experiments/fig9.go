@@ -7,6 +7,7 @@ import (
 
 	"portland/internal/faults"
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
 )
@@ -60,74 +61,108 @@ type Fig9Result struct {
 	Rows []Fig9Row
 }
 
+// fig9Trial is one (fault-count, trial) cell's raw samples, merged
+// into rows in canonical order after the sweep.
+type fig9Trial struct {
+	feasible bool
+	failMs   []float64
+	recMs    []float64
+	affected int
+	dead     int
+}
+
+// runFig9Cell runs one independent trial on its own engine. The seed
+// derives only from (base seed, fault count, trial), so the cell is a
+// pure function of its grid coordinate and can run on any worker.
+func runFig9Cell(cfg Fig9Config, n, trial int) (fig9Trial, error) {
+	var out fig9Trial
+	rig := cfg.Rig
+	rig.Seed = cfg.Rig.Seed + uint64(n*1000+trial)
+	f, err := rig.build()
+	if err != nil {
+		return out, err
+	}
+	hosts := f.HostList()
+	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
+	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
+
+	var links []int
+	var crashed []topo.NodeID
+	var ok bool
+	if cfg.Mode == FailSwitches {
+		crashed, ok = faults.PickConnectedSwitches(f.Eng.Rand(), f, n)
+	} else {
+		links, ok = faults.PickConnected(f.Eng.Rand(), f, n)
+	}
+	if !ok {
+		return out, nil
+	}
+	out.feasible = true
+	failAt := f.Eng.Now()
+	ev := faults.Event{Links: links, Switches: crashed}
+	if cfg.MeasureRecovery {
+		ev.Duration = 1 * time.Second
+	}
+	faults.Schedule{Events: []faults.Event{ev}}.Apply(f)
+	f.RunFor(1 * time.Second)
+
+	for _, fl := range flows {
+		conv, recovered := fl.RX.ConvergenceAfter(failAt, cfg.ProbeEvery)
+		if !recovered {
+			out.dead++
+			continue
+		}
+		if conv > 2*cfg.ProbeEvery {
+			out.affected++
+			out.failMs = append(out.failMs, metrics.Ms(conv))
+		}
+	}
+
+	if cfg.MeasureRecovery {
+		restoreAt := failAt + ev.Duration // armed by the schedule
+		f.RunFor(1 * time.Second)
+		for _, fl := range flows {
+			conv, recovered := fl.RX.ConvergenceAfter(restoreAt, cfg.ProbeEvery)
+			if recovered && conv > 2*cfg.ProbeEvery {
+				out.recMs = append(out.recMs, metrics.Ms(conv))
+			}
+		}
+	}
+	for _, fl := range flows {
+		fl.Stop()
+	}
+	return out, nil
+}
+
 // RunFig9 reproduces Figure 9: permutation UDP probe flows, n random
 // simultaneous link failures (connectivity-preserving, as in the
 // paper), convergence = interruption seen by affected receivers.
+// Cells fan out over the runner pool; rows merge in (faults, trial)
+// order so the result is byte-identical to a serial sweep.
 func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	cells, err := runner.Grid(cfg.MaxFaults, cfg.Trials, func(point, trial int) (fig9Trial, error) {
+		return runFig9Cell(cfg, point+1, trial)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{Cfg: cfg}
-	for n := 1; n <= cfg.MaxFaults; n++ {
+	for p, trials := range cells {
 		var failMs, recMs []float64
 		affected, dead, feasible := 0, 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rig := cfg.Rig
-			rig.Seed = cfg.Rig.Seed + uint64(n*1000+trial)
-			f, err := rig.build()
-			if err != nil {
-				return nil, err
-			}
-			hosts := f.HostList()
-			perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-			flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
-			f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
-
-			var links []int
-			var crashed []topo.NodeID
-			var ok bool
-			if cfg.Mode == FailSwitches {
-				crashed, ok = faults.PickConnectedSwitches(f.Eng.Rand(), f, n)
-			} else {
-				links, ok = faults.PickConnected(f.Eng.Rand(), f, n)
-			}
-			if !ok {
+		for _, tr := range trials {
+			if !tr.feasible {
 				continue
 			}
 			feasible++
-			failAt := f.Eng.Now()
-			ev := faults.Event{Links: links, Switches: crashed}
-			if cfg.MeasureRecovery {
-				ev.Duration = 1 * time.Second
-			}
-			faults.Schedule{Events: []faults.Event{ev}}.Apply(f)
-			f.RunFor(1 * time.Second)
-
-			for _, fl := range flows {
-				conv, recovered := fl.RX.ConvergenceAfter(failAt, cfg.ProbeEvery)
-				if !recovered {
-					dead++
-					continue
-				}
-				if conv > 2*cfg.ProbeEvery {
-					affected++
-					failMs = append(failMs, metrics.Ms(conv))
-				}
-			}
-
-			if cfg.MeasureRecovery {
-				restoreAt := failAt + ev.Duration // armed by the schedule
-				f.RunFor(1 * time.Second)
-				for _, fl := range flows {
-					conv, recovered := fl.RX.ConvergenceAfter(restoreAt, cfg.ProbeEvery)
-					if recovered && conv > 2*cfg.ProbeEvery {
-						recMs = append(recMs, metrics.Ms(conv))
-					}
-				}
-			}
-			for _, fl := range flows {
-				fl.Stop()
-			}
+			failMs = append(failMs, tr.failMs...)
+			recMs = append(recMs, tr.recMs...)
+			affected += tr.affected
+			dead += tr.dead
 		}
 		res.Rows = append(res.Rows, Fig9Row{
-			Faults:   n,
+			Faults:   p + 1,
 			Trials:   feasible,
 			Failure:  metrics.Summarize(failMs),
 			Recovery: metrics.Summarize(recMs),

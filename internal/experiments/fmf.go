@@ -6,6 +6,7 @@ import (
 
 	"portland/internal/faults"
 	"portland/internal/metrics"
+	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
 )
@@ -70,85 +71,95 @@ type FMFResult struct {
 // the ARP blackout, the resync round, and how long flows crossing the
 // dead link stay black.
 func RunFMF(cfg FMFConfig) (*FMFResult, error) {
+	cells, err := runner.Grid(len(cfg.CtrlLoss), len(cfg.Outages), func(li, oi int) (FMFRow, error) {
+		// The flat cell number reproduces the serial sweep's seed
+		// counter (first cell = 1), so seeds — and output — match a
+		// serial run exactly.
+		return runFMFCell(cfg, cfg.CtrlLoss[li], cfg.Outages[oi], li*len(cfg.Outages)+oi+1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &FMFResult{Cfg: cfg}
-	cell := 0
-	for _, loss := range cfg.CtrlLoss {
-		for _, outage := range cfg.Outages {
-			cell++
-			rig := cfg.Rig
-			rig.Seed = cfg.Rig.Seed + uint64(cell)
-			rig.CtrlLoss = loss
-			f, err := rig.build()
-			if err != nil {
-				return nil, err
-			}
-			hosts := f.HostList()
-			perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-			flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
-			f.RunFor(500 * time.Millisecond)
-
-			link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
-			if err != nil {
-				return nil, err
-			}
-
-			killAt := f.Eng.Now()
-			linkFailAt := killAt + outage/2
-			restartAt := killAt + outage
-			var resyncAt time.Duration
-			faults.Schedule{Events: []faults.Event{
-				{
-					Manager:  true,
-					Duration: outage,
-					OnRecover: func() {
-						f.Manager.SetOnSyncDone(func(uint32) { resyncAt = f.Eng.Now() })
-					},
-				},
-				// The fault the dead manager cannot react to.
-				{At: outage / 2, Links: []int{link}},
-			}}.Apply(f)
-
-			// Cold ARP at the kill instant: flush and resolve afresh.
-			// The probe repeats rather than firing once — a lone
-			// datagram can hash onto the link that fails mid-outage
-			// and die before the restarted manager's exclusions land,
-			// which would read as an infinite blackout when ARP
-			// service is in fact back.
-			cold, target := hosts[2], hosts[len(hosts)-3]
-			cold.FlushARP(target.IP())
-			coldFlow := workload.StartCBR(f.Eng, cold, target, 7300, cfg.ProbeEvery, 64)
-
-			f.RunFor(outage + 2*time.Second)
-
-			coldFlow.Stop()
-			row := FMFRow{Outage: outage, CtrlLoss: loss}
-			if first, ok := coldFlow.RX.ConvergenceAfter(killAt, 0); ok {
-				row.ARPBlackout = first
-			} else {
-				row.ARPBlackout = -1 // never delivered
-			}
-			if resyncAt > 0 {
-				row.ResyncRound = resyncAt - restartAt
-			} else {
-				row.ResyncRound = -1
-			}
-			for _, fl := range flows {
-				steady, ok := fl.RX.SteadyAfter(linkFailAt, 2*cfg.ProbeEvery)
-				if !ok {
-					row.Dead++
-					continue
-				}
-				if conv := steady - linkFailAt; conv > row.FlowConv {
-					row.FlowConv = conv
-				}
-				fl.Stop()
-			}
-			toMgr, fromMgr := f.ControlStats()
-			row.CtrlDrops = toMgr.Drops + fromMgr.Drops
-			res.Rows = append(res.Rows, row)
-		}
+	for _, series := range cells {
+		res.Rows = append(res.Rows, series...)
 	}
 	return res, nil
+}
+
+// runFMFCell measures one (loss, outage) cell on a private engine.
+func runFMFCell(cfg FMFConfig, loss float64, outage time.Duration, cell int) (FMFRow, error) {
+	rig := cfg.Rig
+	rig.Seed = cfg.Rig.Seed + uint64(cell)
+	rig.CtrlLoss = loss
+	f, err := rig.build()
+	if err != nil {
+		return FMFRow{}, err
+	}
+	hosts := f.HostList()
+	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
+	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	f.RunFor(500 * time.Millisecond)
+
+	link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
+	if err != nil {
+		return FMFRow{}, err
+	}
+
+	killAt := f.Eng.Now()
+	linkFailAt := killAt + outage/2
+	restartAt := killAt + outage
+	var resyncAt time.Duration
+	faults.Schedule{Events: []faults.Event{
+		{
+			Manager:  true,
+			Duration: outage,
+			OnRecover: func() {
+				f.Manager.SetOnSyncDone(func(uint32) { resyncAt = f.Eng.Now() })
+			},
+		},
+		// The fault the dead manager cannot react to.
+		{At: outage / 2, Links: []int{link}},
+	}}.Apply(f)
+
+	// Cold ARP at the kill instant: flush and resolve afresh.
+	// The probe repeats rather than firing once — a lone
+	// datagram can hash onto the link that fails mid-outage
+	// and die before the restarted manager's exclusions land,
+	// which would read as an infinite blackout when ARP
+	// service is in fact back.
+	cold, target := hosts[2], hosts[len(hosts)-3]
+	cold.FlushARP(target.IP())
+	coldFlow := workload.StartCBR(f.Eng, cold, target, 7300, cfg.ProbeEvery, 64)
+
+	f.RunFor(outage + 2*time.Second)
+
+	coldFlow.Stop()
+	row := FMFRow{Outage: outage, CtrlLoss: loss}
+	if first, ok := coldFlow.RX.ConvergenceAfter(killAt, 0); ok {
+		row.ARPBlackout = first
+	} else {
+		row.ARPBlackout = -1 // never delivered
+	}
+	if resyncAt > 0 {
+		row.ResyncRound = resyncAt - restartAt
+	} else {
+		row.ResyncRound = -1
+	}
+	for _, fl := range flows {
+		steady, ok := fl.RX.SteadyAfter(linkFailAt, 2*cfg.ProbeEvery)
+		if !ok {
+			row.Dead++
+			continue
+		}
+		if conv := steady - linkFailAt; conv > row.FlowConv {
+			row.FlowConv = conv
+		}
+		fl.Stop()
+	}
+	toMgr, fromMgr := f.ControlStats()
+	row.CtrlDrops = toMgr.Drops + fromMgr.Drops
+	return row, nil
 }
 
 // Print tabulates the sweep.

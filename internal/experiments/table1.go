@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/baseline"
+	"portland/internal/runner"
 	"portland/internal/sim"
 	"portland/internal/topo"
 	"portland/internal/workload"
@@ -72,60 +73,13 @@ type Table1Result struct {
 // local hosts + O(k) protocol state; the baseline learns every MAC
 // that crosses it.
 func RunTable1(cfg Table1Config) (*Table1Result, error) {
-	res := &Table1Result{Cfg: cfg}
-	for _, k := range cfg.Ks {
-		spec, err := topo.FatTree(k)
-		if err != nil {
-			return nil, err
-		}
-		row := Table1Row{K: k, Hosts: spec.Count().Hosts, Measured: true}
-
-		// PortLand fabric.
-		rig := DefaultRig()
-		rig.K = k
-		f, err := rig.build()
-		if err != nil {
-			return nil, err
-		}
-		workload.ARPStorm(f.HostList(), cfg.PeersPerHost)
-		f.RunFor(2 * time.Second)
-		for _, id := range f.Spec.Switches() {
-			if n := f.Switches[id].RoutingStateSize(); n > row.PLActiveMax {
-				row.PLActiveMax = n
-			}
-		}
-		// Let the reactive flow entries idle out (OpenFlow soft
-		// timeouts); what remains is the state PortLand *requires*.
-		f.RunFor(8 * time.Second)
-		var plSum int
-		for _, id := range f.Spec.Switches() {
-			n := f.Switches[id].RoutingStateSize()
-			plSum += n
-			if n > row.PLMax {
-				row.PLMax = n
-			}
-		}
-		row.PLMean = float64(plSum) / float64(len(f.Spec.Switches()))
-
-		// Baseline fabric, identical warm-up.
-		bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
-		bf.Start()
-		if err := bf.AwaitTree(20 * time.Second); err != nil {
-			return nil, err
-		}
-		workload.ARPStorm(bf.HostList(), cfg.PeersPerHost)
-		bf.RunFor(5 * time.Second)
-		var blSum int
-		for _, id := range bf.Spec.Switches() {
-			n := bf.Switches[id].MACTableLen()
-			blSum += n
-			if n > row.BLMax {
-				row.BLMax = n
-			}
-		}
-		row.BLMean = float64(blSum) / float64(len(bf.Spec.Switches()))
-		res.Rows = append(res.Rows, row)
+	rows, err := runner.Map(len(cfg.Ks), func(i int) (Table1Row, error) {
+		return runTable1Cell(cfg, cfg.Ks[i])
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Table1Result{Cfg: cfg, Rows: rows}
 	// Analytic rows: PortLand edge ≈ k/2 local hosts + O(k) neighbor
 	// state; baseline worst case learns every host MAC.
 	for _, k := range cfg.AnalyticKs {
@@ -137,6 +91,63 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// runTable1Cell measures one fat-tree degree: a PortLand fabric and a
+// baseline flat-L2 fabric, both with identical warm-up, on private
+// engines.
+func runTable1Cell(cfg Table1Config, k int) (Table1Row, error) {
+	spec, err := topo.FatTree(k)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row := Table1Row{K: k, Hosts: spec.Count().Hosts, Measured: true}
+
+	// PortLand fabric.
+	rig := DefaultRig()
+	rig.K = k
+	f, err := rig.build()
+	if err != nil {
+		return row, err
+	}
+	workload.ARPStorm(f.HostList(), cfg.PeersPerHost)
+	f.RunFor(2 * time.Second)
+	for _, id := range f.Spec.Switches() {
+		if n := f.Switches[id].RoutingStateSize(); n > row.PLActiveMax {
+			row.PLActiveMax = n
+		}
+	}
+	// Let the reactive flow entries idle out (OpenFlow soft
+	// timeouts); what remains is the state PortLand *requires*.
+	f.RunFor(8 * time.Second)
+	var plSum int
+	for _, id := range f.Spec.Switches() {
+		n := f.Switches[id].RoutingStateSize()
+		plSum += n
+		if n > row.PLMax {
+			row.PLMax = n
+		}
+	}
+	row.PLMean = float64(plSum) / float64(len(f.Spec.Switches()))
+
+	// Baseline fabric, identical warm-up.
+	bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
+	bf.Start()
+	if err := bf.AwaitTree(20 * time.Second); err != nil {
+		return row, err
+	}
+	workload.ARPStorm(bf.HostList(), cfg.PeersPerHost)
+	bf.RunFor(5 * time.Second)
+	var blSum int
+	for _, id := range bf.Spec.Switches() {
+		n := bf.Switches[id].MACTableLen()
+		blSum += n
+		if n > row.BLMax {
+			row.BLMax = n
+		}
+	}
+	row.BLMean = float64(blSum) / float64(len(bf.Spec.Switches()))
+	return row, nil
 }
 
 // Print emits both halves of Table 1.

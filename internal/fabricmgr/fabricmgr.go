@@ -276,8 +276,11 @@ func (m *Manager) serveARP(v ctrlmsg.ARPQuery) {
 	m.Stats.ARPMisses++
 	m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: false, TargetIP: v.TargetIP})
 	flood := ctrlmsg.ARPFlood{QueryID: v.QueryID, SenderPMAC: v.SenderPMAC, SenderIP: v.SenderIP, TargetIP: v.TargetIP}
-	for id, loc := range m.locs {
-		if loc.Level == ctrlmsg.LevelEdge {
+	// Flood in ID order: under CtrlLoss every send draws from the
+	// engine RNG, so map-order iteration here would make the whole
+	// run's random stream depend on Go map layout.
+	for _, id := range m.sortedSwitchIDs() {
+		if m.locs[id].Level == ctrlmsg.LevelEdge {
 			m.send(id, flood)
 		}
 	}
@@ -638,17 +641,37 @@ func (m *Manager) recomputeRoutes() {
 	for _, id := range tids {
 		want := desired[id]
 		have := m.excl[id]
-		for k := range want {
+		// Push deltas in key order, not map order — the send order is
+		// observable under CtrlLoss (each send draws from the RNG).
+		for _, k := range sortedExclKeys(want) {
 			if !have[k] {
 				m.Stats.ExclusionsSet++
 				m.send(id, ctrlmsg.RouteExclude{Add: true, Via: k.via, DstPod: k.pod, DstPos: k.pos})
 			}
 		}
-		for k := range have {
+		for _, k := range sortedExclKeys(have) {
 			if !want[k] {
 				m.send(id, ctrlmsg.RouteExclude{Add: false, Via: k.via, DstPod: k.pod, DstPos: k.pos})
 			}
 		}
 	}
 	m.excl = desired
+}
+
+// sortedExclKeys returns a set's keys ordered by (via, pod, pos).
+func sortedExclKeys(set map[exclKey]bool) []exclKey {
+	ks := make([]exclKey, 0, len(set))
+	for k := range set {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].via != ks[j].via {
+			return ks[i].via < ks[j].via
+		}
+		if ks[i].pod != ks[j].pod {
+			return ks[i].pod < ks[j].pod
+		}
+		return ks[i].pos < ks[j].pos
+	})
+	return ks
 }

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(0) })
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	withWorkers(t, 8)
+	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMapSerialEqualsParallel(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%d", i*7%13), nil }
+	withWorkers(t, 1)
+	serial, err := Map(50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(8)
+	parallel, err := Map(50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %q parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	withWorkers(t, 3)
+	var inFlight, peak atomic.Int64
+	_, err := Map(32, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("concurrency peaked at %d with 3 workers", p)
+	}
+}
+
+// TestMapLowestIndexError: with multiple deterministic failures, the
+// reported error must be the lowest-index one regardless of which
+// worker finishes first — the error a serial sweep surfaces.
+func TestMapLowestIndexError(t *testing.T) {
+	withWorkers(t, 4)
+	for round := 0; round < 20; round++ {
+		_, err := Map(16, func(i int) (int, error) {
+			if i == 3 || i == 7 || i == 12 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			// Let high-index failures complete first.
+			time.Sleep(time.Duration(16-i) * 100 * time.Microsecond)
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Fatalf("round %d: got error %v, want cell 3's", round, err)
+		}
+	}
+}
+
+func TestMapSerialStopsAtError(t *testing.T) {
+	withWorkers(t, 1)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("serial run executed %d cells past the error", ran.Load()-5)
+	}
+}
+
+func TestGridShapeAndOrder(t *testing.T) {
+	withWorkers(t, 8)
+	got, err := Grid(4, 3, func(p, tr int) ([2]int, error) { return [2]int{p, tr}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("points: %d", len(got))
+	}
+	for p := range got {
+		if len(got[p]) != 3 {
+			t.Fatalf("point %d trials: %d", p, len(got[p]))
+		}
+		for tr := range got[p] {
+			if got[p][tr] != [2]int{p, tr} {
+				t.Fatalf("cell (%d,%d) = %v", p, tr, got[p][tr])
+			}
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	got, err := Map(0, func(int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestSetWorkersClamp(t *testing.T) {
+	SetWorkers(-5)
+	t.Cleanup(func() { SetWorkers(0) })
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The engine's hot path — Schedule into the value-slice heap, pop and
+// execute in Run — must not allocate once the heap's backing array has
+// grown to the workload's high-water mark. This is the budget every
+// simulated frame, timer, and tick spends from.
+func TestScheduleRunAllocFree(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 4096; i++ { // grow the heap's capacity
+		e.Schedule(time.Duration(i), fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			e.Schedule(time.Duration(i)*time.Microsecond, fn)
+		}
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule+Run allocates %.1f objects per batch; want 0", avg)
+	}
+}
+
+// Timer.Reset reuses the one fire closure allocated by NewTimer, so
+// the RTO re-arm / keepalive sweep pattern is allocation-free too.
+func TestTimerResetAllocFree(t *testing.T) {
+	e := New(1)
+	fired := 0
+	tm := e.NewTimer(func() { fired++ })
+	for i := 0; i < 1024; i++ {
+		tm.Reset(time.Microsecond)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		tm.Reset(time.Microsecond)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Timer.Reset+Run allocates %.1f objects per cycle; want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("timer never fired")
+	}
+}
+
+// Popped slots must not keep the executed callback reachable through
+// the heap's spare capacity — a closure can pin an entire fabric.
+func TestPopReleasesCallback(t *testing.T) {
+	e := New(1)
+	big := make([]byte, 1<<20)
+	e.Schedule(0, func() { _ = big[0] })
+	e.Schedule(time.Millisecond, func() { _ = big[1] })
+	if got := e.Run(); got != 2 {
+		t.Fatalf("ran %d events", got)
+	}
+	spare := e.events[:cap(e.events)]
+	for i, ev := range spare {
+		if ev.fn != nil {
+			t.Fatalf("heap slot %d still references its callback after pop", i)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 func BenchmarkEngineSchedule(b *testing.B) {
 	e := New(1)
 	fn := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Schedule(time.Duration(i), fn)
@@ -22,11 +23,29 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEngineScheduleRun is the full hot-path cycle — push, pop,
+// execute — at a steady queue depth; allocs/op must be zero.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		e.Run()
+	}
+}
+
 // BenchmarkEngineTimerChurn measures the cancellable-timer pattern the
 // protocol stacks lean on (LDP keepalive sweeps, TCP RTO re-arming).
 func BenchmarkEngineTimerChurn(b *testing.B) {
 	e := New(1)
 	t := e.NewTimer(func() {})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t.Reset(time.Millisecond)
 	}

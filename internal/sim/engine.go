@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -21,24 +20,66 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap ordered by (at, seq), stored by value
+// with index-based swaps: Schedule and Run allocate nothing beyond
+// amortized slice growth. (The previous container/heap version boxed a
+// fresh *event per push and, worse, left popped callbacks reachable
+// through the slice's spare capacity.)
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			return
+		}
+		if r := kid + 1; r < n && h.less(r, kid) {
+			kid = r
+		}
+		if !h.less(kid, i) {
+			return
+		}
+		h[i], h[kid] = h[kid], h[i]
+		i = kid
+	}
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the spare capacity does not keep the callback closure (and
+// everything it captures) reachable after execution.
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	(*h).siftDown(0)
+	return top
 }
 
 // Engine is a discrete-event executor with a virtual clock.
@@ -78,7 +119,7 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Stop makes Run and RunUntil return after the current event.
@@ -91,7 +132,7 @@ func (e *Engine) Run() int {
 	e.stopped = false
 	n := 0
 	for len(e.events) > 0 && !e.stopped {
-		next := heap.Pop(&e.events).(*event)
+		next := e.events.pop()
 		e.now = next.at
 		next.fn()
 		n++
@@ -106,11 +147,10 @@ func (e *Engine) RunUntil(deadline time.Duration) int {
 	e.stopped = false
 	n := 0
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > deadline {
+		if e.events[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		next := e.events.pop()
 		e.now = next.at
 		next.fn()
 		n++
@@ -126,34 +166,41 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // Timer is a cancellable, reschedulable one-shot timer.
 type Timer struct {
-	eng   *Engine
-	gen   int // bumped on Stop/Reset to invalidate in-flight events
-	armed bool
-	fn    func()
+	eng      *Engine
+	deadline time.Duration
+	armed    bool
+	fn       func()
+	fire     func() // allocated once; Reset schedules it without a new closure
 }
 
 // NewTimer returns an unarmed timer that will call fn when it fires.
 func (e *Engine) NewTimer(fn func()) *Timer {
-	return &Timer{eng: e, fn: fn}
-}
-
-// Reset (re)arms the timer to fire after d.
-func (t *Timer) Reset(d time.Duration) {
-	t.gen++
-	t.armed = true
-	gen := t.gen
-	t.eng.Schedule(d, func() {
-		if t.gen != gen || !t.armed {
+	t := &Timer{eng: e, fn: fn}
+	// A stale scheduled fire (superseded by a later Reset, or
+	// disarmed by Stop) identifies itself by its instant not matching
+	// the current deadline; only the live one passes both checks.
+	t.fire = func() {
+		if !t.armed || t.eng.now != t.deadline {
 			return
 		}
 		t.armed = false
 		t.fn()
-	})
+	}
+	return t
+}
+
+// Reset (re)arms the timer to fire after d.
+func (t *Timer) Reset(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.deadline = t.eng.now + d
+	t.armed = true
+	t.eng.ScheduleAt(t.deadline, t.fire)
 }
 
 // Stop disarms the timer; a pending expiry will not fire.
 func (t *Timer) Stop() {
-	t.gen++
 	t.armed = false
 }
 
