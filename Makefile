@@ -2,10 +2,15 @@
 
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
+# Override to write a differently named baseline:
+#   make bench-json BENCH_OUT=BENCH_$(DATE)-fastpath.json
+BENCH_OUT ?= BENCH_$(DATE).json
+# The steady-state data-path benchmarks that must report 0 allocs/op.
+ZERO_ALLOC_BENCHES := LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$
 
-.PHONY: check build vet test race fuzz bench bench-json profile
+.PHONY: check build vet test race fuzz bench bench-alloc bench-json bench-diff profile
 
-check: vet build test race fuzz bench
+check: vet build test race fuzz bench bench-alloc
 
 build:
 	$(GO) build ./...
@@ -28,11 +33,28 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
 
+# Allocation gate: the steady-state data path must not allocate. Runs
+# the three fast-path benchmarks a few times and fails if any reports
+# allocs/op > 0. Part of `make check`.
+bench-alloc:
+	$(GO) test -bench 'LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$' \
+		-benchtime 100x -benchmem -run '^$$' \
+		./internal/sim ./internal/pswitch ./internal/core > bench-alloc.out
+	$(GO) run ./cmd/benchjson -assert-zero-allocs '$(ZERO_ALLOC_BENCHES)' < bench-alloc.out
+	rm -f bench-alloc.out
+
 # Full benchmark sweep serialized into a dated JSON baseline.
 bench-json:
 	$(GO) test -bench . -benchmem -run '^$$' ./... > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_$(DATE).json < bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	rm -f bench.out
+
+# Compare two checked-in baselines:
+#   make bench-diff OLD=BENCH_2026-08-05.json NEW=BENCH_2026-08-05-fastpath.json
+OLD ?= BENCH_2026-08-05.json
+NEW ?= BENCH_2026-08-05-fastpath.json
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
 
 # CPU + heap profiles of the Figure 9 sweep, for pprof.
 profile:

@@ -11,6 +11,19 @@
 // i.e. a name, an iteration count, then value/unit pairs. Lines that
 // do not start with "Benchmark" are ignored, so the full `go test`
 // output can be piped in unfiltered.
+//
+// Two further modes support the perf workflow:
+//
+//	benchjson -diff old.json new.json
+//
+// prints a per-benchmark comparison of ns/op and allocs/op between two
+// baselines (matching names with the -GOMAXPROCS suffix stripped), and
+//
+//	go test -bench ... -benchmem | benchjson -assert-zero-allocs 'regexp'
+//
+// exits nonzero when any benchmark whose name matches the regexp
+// reports allocs/op > 0 — the data-path allocation gate `make
+// bench-alloc` runs in CI.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -40,7 +54,31 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two baselines: benchjson -diff old.json new.json")
+	assertZero := flag.String("assert-zero-allocs", "",
+		"regexp of benchmark names that must report 0 allocs/op; exit 1 on violation")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, line := range diffLines(oldRep, newRep) {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	rep := report{
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -61,6 +99,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *assertZero != "" {
+		re, err := regexp.Compile(*assertZero)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		matched, bad := zeroAllocViolations(rep.Benchmarks, re)
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "assert-zero-allocs: no benchmark matched %q (gate misconfigured?)\n", *assertZero)
+			os.Exit(1)
+		}
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "assert-zero-allocs: "+v)
+		}
+		if len(bad) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("assert-zero-allocs: %d benchmarks matched %q, all 0 allocs/op\n", matched, *assertZero)
+		return
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,6 +134,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+func loadReport(path string) (report, error) {
+	var rep report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// normName strips the trailing -GOMAXPROCS suffix so baselines taken
+// on machines with different core counts still line up.
+func normName(s string) string {
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// zeroAllocViolations reports how many benchmarks matched re and which
+// of them broke the 0 allocs/op contract.
+func zeroAllocViolations(benches []benchmark, re *regexp.Regexp) (matched int, bad []string) {
+	for _, b := range benches {
+		if !re.MatchString(normName(b.Name)) {
+			continue
+		}
+		matched++
+		if a := b.Metrics["allocs/op"]; a > 0 {
+			bad = append(bad, fmt.Sprintf("%s reports %g allocs/op, want 0", b.Name, a))
+		}
+	}
+	return matched, bad
+}
+
+// diffLines renders a per-benchmark ns/op and allocs/op comparison.
+// Benchmarks are matched by normalized name; rows follow the new
+// report's order, then the old report's leftovers.
+func diffLines(oldRep, newRep report) []string {
+	oldBy := make(map[string]benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[normName(b.Name)] = b
+	}
+	seen := make(map[string]bool)
+	out := []string{fmt.Sprintf("%-52s %12s %12s %8s  %10s %10s",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")}
+	for _, nb := range newRep.Benchmarks {
+		name := normName(nb.Name)
+		seen[name] = true
+		ob, ok := oldBy[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%-52s %12s %12.1f %8s  %10s %10g",
+				name, "-", nb.Metrics["ns/op"], "added", "-", nb.Metrics["allocs/op"]))
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		delta := "n/a"
+		if oldNs > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (newNs-oldNs)/oldNs*100)
+		}
+		out = append(out, fmt.Sprintf("%-52s %12.1f %12.1f %8s  %10g %10g",
+			name, oldNs, newNs, delta, ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
+	}
+	for _, ob := range oldRep.Benchmarks {
+		name := normName(ob.Name)
+		if !seen[name] {
+			out = append(out, fmt.Sprintf("%-52s %12.1f %12s %8s  %10g %10s",
+				name, ob.Metrics["ns/op"], "-", "removed", ob.Metrics["allocs/op"], "-"))
+		}
+	}
+	return out
 }
 
 // parseLine extracts one benchmark result; ok is false for any line

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkEngineSchedule-8   14203933   83.55 ns/op   0 B/op   0 allocs/op")
@@ -30,5 +34,63 @@ func TestParseLineRejects(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("accepted %q", line)
 		}
+	}
+}
+
+func TestNormName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkLinkSend-8":      "BenchmarkLinkSend",
+		"BenchmarkLinkSend-32":     "BenchmarkLinkSend",
+		"BenchmarkLinkSend":        "BenchmarkLinkSend",
+		"BenchmarkFig9-quick-8":    "BenchmarkFig9-quick", // only the numeric tail strips
+		"BenchmarkFig9-quick":      "BenchmarkFig9-quick",
+		"BenchmarkEndToEndEcho-16": "BenchmarkEndToEndEcho",
+	} {
+		if got := normName(in); got != want {
+			t.Errorf("normName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestZeroAllocViolations(t *testing.T) {
+	benches := []benchmark{
+		{Name: "BenchmarkLinkSend-8", Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "BenchmarkEndToEndEcho-8", Metrics: map[string]float64{"allocs/op": 2}},
+		{Name: "BenchmarkOther-8", Metrics: map[string]float64{"allocs/op": 99}},
+	}
+	re := regexp.MustCompile(`LinkSend$|EndToEndEcho$`)
+	matched, bad := zeroAllocViolations(benches, re)
+	if matched != 2 {
+		t.Fatalf("matched %d, want 2", matched)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "EndToEndEcho") {
+		t.Fatalf("violations %v, want the EndToEndEcho one", bad)
+	}
+	if m, _ := zeroAllocViolations(benches, regexp.MustCompile("NoSuchBench")); m != 0 {
+		t.Fatalf("matched %d for non-matching regexp", m)
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	oldRep := report{Benchmarks: []benchmark{
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 200, "allocs/op": 1}},
+		{Name: "BenchmarkGone-8", Metrics: map[string]float64{"ns/op": 5, "allocs/op": 0}},
+	}}
+	newRep := report{Benchmarks: []benchmark{
+		{Name: "BenchmarkA-16", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		{Name: "BenchmarkNew-16", Metrics: map[string]float64{"ns/op": 7, "allocs/op": 0}},
+	}}
+	lines := diffLines(oldRep, newRep)
+	if len(lines) != 4 { // header + A + New + Gone
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[1], "BenchmarkA") || !strings.Contains(lines[1], "-50.0%") {
+		t.Errorf("A row lacks -50%% delta: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "added") {
+		t.Errorf("New row not marked added: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "removed") {
+		t.Errorf("Gone row not marked removed: %q", lines[3])
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"portland/internal/fabricmgr"
 	"portland/internal/host"
 	"portland/internal/ldp"
+	"portland/internal/metrics"
 	"portland/internal/pswitch"
 	"portland/internal/sim"
 	"portland/internal/topo"
@@ -321,6 +322,18 @@ func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
 		acc(&fromMgr, pair.sbMgrRaw)
 	}
 	return toMgr, fromMgr
+}
+
+// LinkDrops sums frame loss across every fabric link, broken down by
+// cause (drop-tail queueing vs injected loss vs down links). The
+// per-cause split separates congestion effects from fault effects in
+// experiment output.
+func (f *Fabric) LinkDrops() metrics.LinkDrops {
+	var d metrics.LinkDrops
+	for _, l := range f.Links {
+		d.Add(metrics.LinkDrops{Queue: l.QueueDrops, Loss: l.LossDrops, Down: l.DownDrops})
+	}
+	return d
 }
 
 // CheckDiscovery verifies LDP's output against the blueprint's ground

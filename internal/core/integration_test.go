@@ -481,7 +481,13 @@ func TestEdgeCrashAndRebootKeepsPosition(t *testing.T) {
 // ingress-edge rewrite).
 func TestLoopFreedomUnderChurn(t *testing.T) {
 	f := buildK4(t)
-	seen := make(map[*ether.Frame]int)
+	// Pooled frame structs are recycled across packets, so a bare
+	// pointer is not a packet identity; (pointer, generation) is.
+	type frameID struct {
+		f   *ether.Frame
+		gen uint32
+	}
+	seen := make(map[frameID]int)
 	worst := 0
 	for _, id := range f.Spec.Switches() {
 		sw := f.Switches[id]
@@ -489,9 +495,10 @@ func TestLoopFreedomUnderChurn(t *testing.T) {
 			if egress || frame.Type == ether.TypeLDP {
 				return
 			}
-			seen[frame]++
-			if seen[frame] > worst {
-				worst = seen[frame]
+			id := frameID{frame, frame.Generation()}
+			seen[id]++
+			if seen[id] > worst {
+				worst = seen[id]
 			}
 		}
 	}

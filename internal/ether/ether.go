@@ -137,6 +137,14 @@ type Frame struct {
 	Dst, Src Addr
 	Type     Type
 	Payload  Payload
+
+	// pstate tracks FramePool ownership (see pool.go). The zero value
+	// marks an ordinary heap frame that is never recycled.
+	pstate uint8
+	// gen increments each time a pool recycles this struct for a new
+	// frame, so (pointer, Generation) identifies one frame's lifetime
+	// even though pointers are reused (see Generation).
+	gen uint32
 }
 
 // WireSize returns the frame's size on the wire including FCS and
@@ -197,9 +205,12 @@ func Decode(b []byte) (*Frame, error) {
 
 // Clone returns a shallow copy of the frame with the same payload.
 // Switches clone before rewriting headers so other replicas of a
-// flooded frame are unaffected.
+// flooded frame are unaffected. The copy is an ordinary heap frame
+// regardless of the receiver's pool state; hot paths use
+// FramePool.Clone instead.
 func (f *Frame) Clone() *Frame {
 	g := *f
+	g.pstate = unpooled
 	return &g
 }
 

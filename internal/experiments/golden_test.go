@@ -48,6 +48,19 @@ func TestGoldenFig9Links(t *testing.T) {
 	goldenEquivalent(t, func() (*Fig9Result, error) { return RunFig9(cfg) })
 }
 
+// TestGoldenFig9FaultChurn leans on the failure/recovery cycle —
+// every RouteExclude bumps the switches' exclusion epoch and every
+// Recover resets the cached ECMP candidate sets, so this golden
+// catches any candidate-cache state that leaks across trials or
+// differs between serial and parallel scheduling.
+func TestGoldenFig9FaultChurn(t *testing.T) {
+	cfg := DefaultFig9()
+	cfg.MaxFaults = 4
+	cfg.Trials = 3
+	cfg.MeasureRecovery = true
+	goldenEquivalent(t, func() (*Fig9Result, error) { return RunFig9(cfg) })
+}
+
 func TestGoldenFig9Switches(t *testing.T) {
 	cfg := DefaultFig9()
 	cfg.Mode = FailSwitches

@@ -65,6 +65,7 @@ type Host struct {
 	eng  *sim.Engine
 	name string
 	link *sim.Link
+	pool *ether.FramePool
 
 	primary *Endpoint
 	eps     map[ether.Addr]*Endpoint
@@ -84,6 +85,7 @@ func New(eng *sim.Engine, name string, mac ether.Addr, ip netip.Addr) *Host {
 	h := &Host{
 		eng:     eng,
 		name:    name,
+		pool:    eng.FramePool(),
 		eps:     make(map[ether.Addr]*Endpoint),
 		arp:     make(map[netip.Addr]arpEntry),
 		pending: make(map[netip.Addr]*resolution),
@@ -146,12 +148,21 @@ func (h *Host) sendFrame(f *ether.Frame) {
 	h.link.Send(h, f)
 }
 
-// HandleFrame implements sim.Node.
+// SendFrame injects a fully formed frame into the host's NIC, exactly
+// as sent. Benchmarks and packet-level tests use it to drive the data
+// path without paying the host stack's frame construction; normal
+// traffic goes through Endpoint's SendUDP/SendIP, which resolve ARP.
+func (h *Host) SendFrame(f *ether.Frame) { h.sendFrame(f) }
+
+// HandleFrame implements sim.Node. Inbound frames are consumed here:
+// after the hooks and handlers run (none may retain the frame — only
+// its payload survives independently), the frame returns to the
+// engine's pool.
 func (h *Host) HandleFrame(_ int, f *ether.Frame) {
 	h.Stats.FramesIn++
 	switch {
 	case f.Type == ether.TypeLDP:
-		return // hosts ignore the fabric's discovery chatter
+		// Hosts ignore the fabric's discovery chatter.
 	case f.Dst.IsBroadcast():
 		if h.RecvHook != nil {
 			h.RecvHook(f)
@@ -160,7 +171,7 @@ func (h *Host) HandleFrame(_ int, f *ether.Frame) {
 	case f.Dst.IsMulticast():
 		group, ok := ether.GroupFromAddr(f.Dst)
 		if !ok {
-			return
+			break
 		}
 		if h.RecvHook != nil {
 			h.RecvHook(f)
@@ -174,13 +185,14 @@ func (h *Host) HandleFrame(_ int, f *ether.Frame) {
 		ep, ok := h.eps[f.Dst]
 		if !ok {
 			h.Stats.Filtered++
-			return
+			break
 		}
 		if h.RecvHook != nil {
 			h.RecvHook(f)
 		}
 		h.deliver(ep, f)
 	}
+	h.pool.Put(f)
 }
 
 func (h *Host) handleBroadcast(f *ether.Frame) {
@@ -366,13 +378,19 @@ func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
 
 // SendIP implements tcplite.Endpoint: wrap the packet in a frame and
 // resolve the next-hop MAC (always the destination's own MAC in a
-// flat L2 fabric — which PortLand transparently makes a PMAC).
+// flat L2 fabric — which PortLand transparently makes a PMAC). The
+// frame comes from the engine's pool: it is consumed (and recycled)
+// wherever it leaves the data path — receiving host stack, edge
+// rewrite, or drop — so steady-state senders allocate only their
+// payloads.
 func (ep *Endpoint) SendIP(dst netip.Addr, _ uint8, payload ether.Payload) {
 	h := ep.host
 	if h == nil {
 		return // detached (mid-migration): packets are lost, TCP recovers
 	}
-	f := &ether.Frame{Src: ep.mac, Type: ether.TypeIPv4, Payload: payload}
+	f := h.pool.Get()
+	f.Dst = ether.Addr{} // cleared: resolveAndSend fills in the next hop
+	f.Src, f.Type, f.Payload = ep.mac, ether.TypeIPv4, payload
 	h.resolveAndSend(ep, dst, f)
 }
 

@@ -110,6 +110,13 @@ type Agent struct {
 
 	ticker *sim.Ticker
 
+	// version increments on every change to the inputs of route
+	// computation: port classification (host vs switch), neighbor
+	// identity/location/liveness, and the agent's own level, pod and
+	// position. The switch's ECMP candidate caches key their validity
+	// on it (epoch invalidation instead of rebuilding per packet).
+	version uint64
+
 	// LDMsSent counts transmissions, reported by control-overhead
 	// ablations.
 	LDMsSent int64
@@ -187,45 +194,76 @@ func (a *Agent) Neighbor(port int) (Neighbor, bool) {
 // aggregation switch the ports with core neighbors. Core switches
 // have none.
 func (a *Agent) LiveUpPorts() []int {
-	var want uint8
-	switch a.level {
-	case ctrlmsg.LevelEdge:
-		want = ctrlmsg.LevelAggregation
-	case ctrlmsg.LevelAggregation:
-		want = ctrlmsg.LevelCore
-	default:
-		return nil
-	}
 	var ps []int
-	for i := range a.ports {
-		p := &a.ports[i]
-		if p.seen && !p.host && p.neighbor.Alive && p.neighbor.Loc.Level == want {
-			ps = append(ps, i)
-		}
-	}
+	a.ForEachLiveUp(func(port int, _ Neighbor) {
+		ps = append(ps, port)
+	})
 	return ps
 }
 
 // LiveDownNeighbors returns port→neighbor for live lower-level
 // neighbors (aggregation: edges; core: aggregations).
 func (a *Agent) LiveDownNeighbors() map[int]Neighbor {
-	var want uint8
-	switch a.level {
-	case ctrlmsg.LevelAggregation:
-		want = ctrlmsg.LevelEdge
-	case ctrlmsg.LevelCore:
-		want = ctrlmsg.LevelAggregation
-	default:
+	if a.downLevel() == ctrlmsg.LevelUnknown {
 		return nil
 	}
 	m := make(map[int]Neighbor)
+	a.ForEachLiveDown(func(port int, n Neighbor) {
+		m[port] = n
+	})
+	return m
+}
+
+// Version returns the route-input version counter: it changes whenever
+// anything that LiveUpPorts / LiveDownNeighbors derive from changes.
+// Callers cache candidate sets against it.
+func (a *Agent) Version() uint64 { return a.version }
+
+// upLevel returns the neighbor level that counts as "up" from here, or
+// LevelUnknown if nothing does.
+func (a *Agent) upLevel() uint8 {
+	switch a.level {
+	case ctrlmsg.LevelEdge:
+		return ctrlmsg.LevelAggregation
+	case ctrlmsg.LevelAggregation:
+		return ctrlmsg.LevelCore
+	}
+	return ctrlmsg.LevelUnknown
+}
+
+// downLevel mirrors upLevel for the level below.
+func (a *Agent) downLevel() uint8 {
+	switch a.level {
+	case ctrlmsg.LevelAggregation:
+		return ctrlmsg.LevelEdge
+	case ctrlmsg.LevelCore:
+		return ctrlmsg.LevelAggregation
+	}
+	return ctrlmsg.LevelUnknown
+}
+
+// ForEachLiveUp invokes fn for every live up-facing port in ascending
+// port order, without allocating (unlike LiveUpPorts).
+func (a *Agent) ForEachLiveUp(fn func(port int, n Neighbor)) {
+	a.forEachLive(a.upLevel(), fn)
+}
+
+// ForEachLiveDown invokes fn for every live down-facing port in
+// ascending port order, without allocating.
+func (a *Agent) ForEachLiveDown(fn func(port int, n Neighbor)) {
+	a.forEachLive(a.downLevel(), fn)
+}
+
+func (a *Agent) forEachLive(want uint8, fn func(port int, n Neighbor)) {
+	if want == ctrlmsg.LevelUnknown {
+		return
+	}
 	for i := range a.ports {
 		p := &a.ports[i]
 		if p.seen && !p.host && p.neighbor.Alive && p.neighbor.Loc.Level == want {
-			m[i] = p.neighbor
+			fn(i, p.neighbor)
 		}
 	}
-	return m
 }
 
 // NoteDataFrame hints that a non-LDP frame arrived on port: only
@@ -238,6 +276,7 @@ func (a *Agent) NoteDataFrame(port int) {
 		return
 	}
 	p.host = true
+	a.version++
 	a.maybeBecomeEdge()
 }
 
@@ -248,6 +287,7 @@ func (a *Agent) SetPod(pod uint16) {
 		return
 	}
 	a.pod = pod
+	a.version++
 	a.announce()
 	a.maybeResolve()
 }
@@ -292,6 +332,7 @@ func (a *Agent) tick() {
 		}
 		if p.lastSeen < deadline {
 			p.neighbor.Alive = false
+			a.version++
 			a.env.PortStatus(i, p.neighbor, false)
 		}
 	}
@@ -305,6 +346,7 @@ func (a *Agent) tick() {
 // HandleLDP processes an inbound LDP packet.
 func (a *Agent) HandleLDP(port int, pkt *Packet) {
 	p := &a.ports[port]
+	wasHost := p.host
 	p.host = false // switches speak LDP; this cannot be a host port
 	now := a.eng.Now()
 	first := !p.seen
@@ -316,6 +358,9 @@ func (a *Agent) HandleLDP(port int, pkt *Packet) {
 		ID:    pkt.Switch,
 		Loc:   ctrlmsg.Loc{Level: pkt.Level, Pod: pkt.Pod, Pos: pkt.Pos},
 		Alive: true,
+	}
+	if wasHost || first || revived || old.ID != p.neighbor.ID || old.Loc != p.neighbor.Loc {
+		a.version++
 	}
 	if revived {
 		a.env.PortStatus(port, p.neighbor, true)
@@ -414,6 +459,7 @@ func (a *Agent) classifyBySilence() {
 		p := &a.ports[i]
 		if !p.seen {
 			p.host = true
+			a.version++
 		}
 	}
 	a.maybeBecomeEdge()
@@ -440,6 +486,7 @@ func (a *Agent) setLevel(l uint8) {
 		return
 	}
 	a.level = l
+	a.version++
 	if l == ctrlmsg.LevelCore {
 		a.pod = pmac.CorePod
 	}

@@ -193,6 +193,31 @@ type ThroughputGap struct {
 	Length time.Duration
 }
 
+// LinkDrops breaks frame loss down by cause, mirroring sim.Link's
+// per-cause counters: queue-tail drops (congestion), LossRate coin
+// drops (injected bit errors), and down-link drops (failures).
+// Aggregations over a fabric sum these per link.
+type LinkDrops struct {
+	Queue int64
+	Loss  int64
+	Down  int64
+}
+
+// Total returns all drops regardless of cause.
+func (d LinkDrops) Total() int64 { return d.Queue + d.Loss + d.Down }
+
+// Add accumulates another counter block.
+func (d *LinkDrops) Add(o LinkDrops) {
+	d.Queue += o.Queue
+	d.Loss += o.Loss
+	d.Down += o.Down
+}
+
+// String renders the breakdown compactly.
+func (d LinkDrops) String() string {
+	return fmt.Sprintf("drops=%d (queue=%d loss=%d down=%d)", d.Total(), d.Queue, d.Loss, d.Down)
+}
+
 // Summary holds descriptive statistics of a sample set.
 type Summary struct {
 	N            int

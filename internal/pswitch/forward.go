@@ -1,7 +1,6 @@
 package pswitch
 
 import (
-	"hash/fnv"
 	"net/netip"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"portland/internal/flowtable"
 	"portland/internal/grouppkt"
 	"portland/internal/ippkt"
+	"portland/internal/ldp"
 	"portland/internal/pmac"
 )
 
@@ -40,7 +40,7 @@ func (s *Switch) fromHost(port int, f *ether.Frame) {
 			// the sender's AMAC to its PMAC in both headers and
 			// forward through the fabric.
 			s.Stats.IngressRewrites++
-			g := f.Clone()
+			g := s.pool.Clone(f)
 			g.Src = pm.Addr()
 			q := *p
 			q.SenderMAC = pm.Addr()
@@ -70,12 +70,12 @@ func (s *Switch) fromHost(port int, f *ether.Frame) {
 			s.learnIP(f.Src, pm, ip.Src)
 		}
 		s.Stats.IngressRewrites++
-		g := f.Clone()
-		g.Src = pm.Addr()
 		switch {
-		case g.Dst.IsMulticast():
+		case f.Dst.IsMulticast():
+			g := s.pool.Clone(f)
+			g.Src = pm.Addr()
 			s.forwardMulticast(port, g)
-		case g.Dst.IsBroadcast():
+		case f.Dst.IsBroadcast():
 			// PortLand eliminates data broadcast; ARP (handled above)
 			// and DHCP get the proxy treatment, everything else is
 			// dropped at the first hop.
@@ -85,6 +85,8 @@ func (s *Switch) fromHost(port int, f *ether.Frame) {
 			}
 			s.Stats.Dropped++
 		default:
+			g := s.pool.Clone(f)
+			g.Src = pm.Addr()
 			s.forwardUnicast(port, g)
 		}
 	}
@@ -189,6 +191,7 @@ func (s *Switch) fromFabric(port int, f *ether.Frame) {
 	case f.Dst.IsBroadcast():
 		// No broadcast transits the PortLand fabric.
 		s.Stats.Dropped++
+		s.pool.Put(f)
 	default:
 		s.forwardUnicast(port, f)
 	}
@@ -209,13 +212,17 @@ func (s *Switch) forwardUnicast(inPort int, f *ether.Frame) {
 		s.deliverLocal(inPort, f, dst)
 		return
 	}
-	key := flowtable.Key{Dst: f.Dst, Hash: flowHash(f)}
+	// One hash per frame: the flow-table key and the ECMP modulus on
+	// the miss path share it.
+	h := flowHash(f)
+	key := flowtable.Key{Dst: f.Dst, Hash: h}
 	if port, ok := s.flows.Lookup(key); ok {
 		s.send(port, f)
 		return
 	}
-	port, ok := s.routeUnicast(f, dst)
+	port, ok := s.routeUnicast(h, dst)
 	if !ok {
+		s.pool.Put(f)
 		return // counted by routeUnicast
 	}
 	s.flows.Install(key, port)
@@ -224,17 +231,17 @@ func (s *Switch) forwardUnicast(inPort int, f *ether.Frame) {
 
 // routeUnicast is the slow path: compute the output port from LDP
 // state, exclusions and the flow hash.
-func (s *Switch) routeUnicast(f *ether.Frame, dst pmac.PMAC) (int, bool) {
+func (s *Switch) routeUnicast(h uint32, dst pmac.PMAC) (int, bool) {
 	switch s.loc.Level {
 	case ctrlmsg.LevelEdge:
-		return s.ecmpUp(f, dst)
+		return s.ecmpUp(h, dst)
 	case ctrlmsg.LevelAggregation:
 		if dst.Pod == s.loc.Pod {
 			return s.downToPosition(dst)
 		}
-		return s.ecmpUp(f, dst)
+		return s.ecmpUp(h, dst)
 	case ctrlmsg.LevelCore:
-		return s.downToPod(f, dst)
+		return s.downToPod(h, dst)
 	default:
 		s.Stats.Dropped++
 		return 0, false
@@ -248,7 +255,7 @@ func (s *Switch) routeUnicast(f *ether.Frame, dst pmac.PMAC) (int, bool) {
 func (s *Switch) deliverLocal(inPort int, f *ether.Frame, dst pmac.PMAC) {
 	if amac, ok := s.table.LookupPMAC(f.Dst); ok {
 		s.Stats.EgressRewrites++
-		g := f.Clone()
+		g := s.pool.Clone(f)
 		g.Dst = amac
 		if p, ok := g.Payload.(*arppkt.Packet); ok && p.TargetMAC == f.Dst {
 			q := *p
@@ -256,6 +263,7 @@ func (s *Switch) deliverLocal(inPort int, f *ether.Frame, dst pmac.PMAC) {
 			g.Payload = &q
 		}
 		s.send(int(dst.Port), g)
+		s.pool.Put(f)
 		return
 	}
 	if me, ok := s.migrated[f.Dst]; ok {
@@ -277,55 +285,102 @@ func (s *Switch) deliverLocal(inPort int, f *ether.Frame, dst pmac.PMAC) {
 		}
 		s.forwardUnicast(inPort, garp)
 		s.Stats.Dropped++
+		s.pool.Put(f)
 		return
 	}
 	s.Stats.Dropped++
+	s.pool.Put(f)
+}
+
+// Candidate-set cache. Each destination class a switch routes toward
+// (ECMP uplinks filtered by exclusions, down links to a pod, down
+// links to an edge position) keeps its sorted candidate-port slice
+// cached. A set is rebuilt only when the LDP agent's state version or
+// the switch's exclusion epoch has moved since the cached build —
+// epoch validation makes the common flow-table miss O(1) instead of
+// refiltering and sorting the port list per miss.
+const (
+	candUp uint8 = iota
+	candDownPod
+	candDownPos
+)
+
+type candKey struct {
+	kind uint8
+	pod  uint16
+	pos  uint8
+}
+
+type candSet struct {
+	agentV uint64 // ldp.Agent.Version at build time
+	exclV  uint64 // Switch.exclEpoch at build time
+	ports  []int  // ascending; storage reused across rebuilds
+}
+
+// candidates returns the (cached) candidate out-ports for key. Port
+// order is ascending: ForEachLive* iterates ports in index order, so
+// the set is born sorted and ECMP modulus picks stay deterministic.
+func (s *Switch) candidates(key candKey) []int {
+	cs := s.cands[key]
+	if cs == nil {
+		cs = &candSet{}
+		s.cands[key] = cs
+	} else if cs.agentV == s.agent.Version() && cs.exclV == s.exclEpoch {
+		return cs.ports
+	}
+	cs.agentV, cs.exclV = s.agent.Version(), s.exclEpoch
+	cs.ports = cs.ports[:0]
+	switch key.kind {
+	case candUp:
+		s.agent.ForEachLiveUp(func(port int, n ldp.Neighbor) {
+			if s.excl[exclKey{via: n.ID, pod: key.pod, pos: ctrlmsg.AnyPos}] ||
+				s.excl[exclKey{via: n.ID, pod: key.pod, pos: key.pos}] {
+				return
+			}
+			cs.ports = append(cs.ports, port)
+		})
+	case candDownPod:
+		s.agent.ForEachLiveDown(func(port int, n ldp.Neighbor) {
+			if n.Loc.Pod == key.pod {
+				cs.ports = append(cs.ports, port)
+			}
+		})
+	case candDownPos:
+		s.agent.ForEachLiveDown(func(port int, n ldp.Neighbor) {
+			if n.Loc.Pos == key.pos {
+				cs.ports = append(cs.ports, port)
+			}
+		})
+	}
+	return cs.ports
 }
 
 // ecmpUp spreads a flow across the live, non-excluded uplinks.
-func (s *Switch) ecmpUp(f *ether.Frame, dst pmac.PMAC) (int, bool) {
-	ups := s.agent.LiveUpPorts()
-	cand := ups[:0:0]
-	for _, p := range ups {
-		n, ok := s.agent.Neighbor(p)
-		if !ok {
-			continue
-		}
-		if s.excl[exclKey{via: n.ID, pod: dst.Pod, pos: ctrlmsg.AnyPos}] ||
-			s.excl[exclKey{via: n.ID, pod: dst.Pod, pos: dst.Position}] {
-			continue
-		}
-		cand = append(cand, p)
-	}
+func (s *Switch) ecmpUp(h uint32, dst pmac.PMAC) (int, bool) {
+	cand := s.candidates(candKey{kind: candUp, pod: dst.Pod, pos: dst.Position})
 	if len(cand) == 0 {
 		s.Stats.Blackholed++
 		return 0, false
 	}
-	return cand[flowHash(f)%uint32(len(cand))], true
+	return cand[h%uint32(len(cand))], true
 }
 
 // downToPosition (aggregation) routes toward an edge position in this
 // pod.
 func (s *Switch) downToPosition(dst pmac.PMAC) (int, bool) {
-	for port, n := range s.agent.LiveDownNeighbors() {
-		if n.Loc.Pos == dst.Position {
-			return port, true
-		}
+	cand := s.candidates(candKey{kind: candDownPos, pos: dst.Position})
+	if len(cand) == 0 {
+		s.Stats.Blackholed++
+		return 0, false
 	}
-	s.Stats.Blackholed++
-	return 0, false
+	return cand[0], true
 }
 
 // downToPod (core) routes toward the destination pod; strict fat
 // trees have exactly one such link, but generalized multi-rooted
 // trees may offer several, in which case the flow hash picks.
-func (s *Switch) downToPod(f *ether.Frame, dst pmac.PMAC) (int, bool) {
-	var cand []int
-	for port, n := range s.agent.LiveDownNeighbors() {
-		if n.Loc.Pod == dst.Pod {
-			cand = append(cand, port)
-		}
-	}
+func (s *Switch) downToPod(h uint32, dst pmac.PMAC) (int, bool) {
+	cand := s.candidates(candKey{kind: candDownPod, pod: dst.Pod})
 	switch len(cand) {
 	case 0:
 		s.Stats.Blackholed++
@@ -333,9 +388,7 @@ func (s *Switch) downToPod(f *ether.Frame, dst pmac.PMAC) (int, bool) {
 	case 1:
 		return cand[0], true
 	default:
-		// Map iteration order is random; sort for determinism.
-		sortInts(cand)
-		return cand[int(flowHash(f))%len(cand)], true
+		return cand[int(h)%len(cand)], true
 	}
 }
 
@@ -353,11 +406,13 @@ func (s *Switch) forwardMulticast(inPort int, f *ether.Frame) {
 	group, ok := ether.GroupFromAddr(f.Dst)
 	if !ok {
 		s.Stats.Dropped++
+		s.pool.Put(f)
 		return
 	}
 	ports, ok := s.mcast[group]
 	if !ok {
 		s.Stats.Dropped++
+		s.pool.Put(f)
 		return
 	}
 	sent := false
@@ -366,49 +421,57 @@ func (s *Switch) forwardMulticast(inPort int, f *ether.Frame) {
 			continue
 		}
 		s.Stats.McastReplicas++
-		s.send(p, f.Clone())
+		s.send(p, s.pool.Clone(f))
 		sent = true
 	}
 	if !sent {
 		s.Stats.Dropped++
 	}
+	// The incoming frame was replicated (or dropped), never forwarded
+	// itself: consumed here.
+	s.pool.Put(f)
 }
+
+// FNV-1a parameters (inlined from hash/fnv: constructing a hash.Hash32
+// there allocates the state object on every call, and the data path
+// hashes every frame at every hop).
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
 
 // flowHash is the ECMP flow hash: FNV-1a over the Ethernet pair and
 // type, plus the transport 5-tuple when the payload is IPv4 (the
 // paper's switches hash "on source and destination addresses and port
 // numbers"). All packets of one flow take one path, preserving
-// ordering.
+// ordering. The arithmetic is byte-for-byte identical to feeding the
+// same fields through hash/fnv's New32a.
 func flowHash(f *ether.Frame) uint32 {
-	h := fnv.New32a()
-	var b [16]byte
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	b[12] = byte(f.Type >> 8)
-	b[13] = byte(f.Type)
-	n := 14
+	h := fnvOffset32
+	for _, c := range f.Dst {
+		h = (h ^ uint32(c)) * fnvPrime32
+	}
+	for _, c := range f.Src {
+		h = (h ^ uint32(c)) * fnvPrime32
+	}
+	h = (h ^ uint32(f.Type>>8)) * fnvPrime32
+	h = (h ^ uint32(f.Type&0xff)) * fnvPrime32
 	if ip, ok := f.Payload.(*ippkt.IPv4); ok {
-		b[n] = ip.Protocol
-		n++
-		h.Write(b[:n])
-		var pb [8]byte
+		h = (h ^ uint32(ip.Protocol)) * fnvPrime32
 		switch t := ip.Payload.(type) {
 		case *ippkt.UDP:
-			putPorts(pb[:], t.SrcPort, t.DstPort)
-			h.Write(pb[:4])
+			h = hashPorts(h, t.SrcPort, t.DstPort)
 		case *ippkt.TCPSegment:
-			putPorts(pb[:], t.SrcPort, t.DstPort)
-			h.Write(pb[:4])
+			h = hashPorts(h, t.SrcPort, t.DstPort)
 		}
-		return h.Sum32()
 	}
-	h.Write(b[:n])
-	return h.Sum32()
+	return h
 }
 
-func putPorts(b []byte, src, dst uint16) {
-	b[0] = byte(src >> 8)
-	b[1] = byte(src)
-	b[2] = byte(dst >> 8)
-	b[3] = byte(dst)
+func hashPorts(h uint32, src, dst uint16) uint32 {
+	h = (h ^ uint32(src>>8)) * fnvPrime32
+	h = (h ^ uint32(src&0xff)) * fnvPrime32
+	h = (h ^ uint32(dst>>8)) * fnvPrime32
+	h = (h ^ uint32(dst&0xff)) * fnvPrime32
+	return h
 }

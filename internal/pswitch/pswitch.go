@@ -91,6 +91,15 @@ type Switch struct {
 	migrated map[ether.Addr]migrationEntry
 	flows    *flowtable.Table
 
+	// pool is the engine's frame free-list; the data path clones and
+	// releases through it (see ether.FramePool for ownership rules).
+	pool *ether.FramePool
+	// cands caches candidate out-port sets per destination class,
+	// validated against (agent.Version, exclEpoch); see candidates().
+	cands map[candKey]*candSet
+	// exclEpoch increments on every excl mutation, invalidating cands.
+	exclEpoch uint64
+
 	// Soft state mirrored for manager resync: DHCP leases this switch
 	// proxied (client MAC → IP) and active group memberships punted
 	// upward (value: source flag). Both replay on StateSyncRequest.
@@ -124,6 +133,8 @@ func New(eng *sim.Engine, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.C
 		migrated:    make(map[ether.Addr]migrationEntry),
 		leases:      make(map[ether.Addr]netip.Addr),
 		joins:       make(map[joinKey]bool),
+		pool:        eng.FramePool(),
+		cands:       make(map[candKey]*candSet),
 	}
 	s.flows = flowtable.New(eng.Now, 0)
 	s.agent = ldp.New(eng, (*agentEnv)(s), cfg)
@@ -185,6 +196,10 @@ func (s *Switch) Recover() {
 	s.leases = make(map[ether.Addr]netip.Addr)
 	s.joins = make(map[joinKey]bool)
 	s.flows = flowtable.New(s.eng.Now, 0)
+	// The replacement agent restarts its version counter, so cached
+	// candidate sets validated against the old counter must go too.
+	s.cands = make(map[candKey]*candSet)
+	s.exclEpoch++
 	s.agent = ldp.New(s.eng, (*agentEnv)(s), s.ldpCfg)
 	s.Start()
 }
@@ -225,6 +240,7 @@ func (s *Switch) RoutingStateSize() int {
 // HandleFrame implements sim.Node.
 func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 	if s.failed {
+		s.pool.Put(f)
 		return
 	}
 	s.Stats.FramesIn++
@@ -235,6 +251,7 @@ func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 		if p, ok := f.Payload.(*ldp.Packet); ok {
 			s.agent.HandleLDP(port, p)
 		}
+		s.pool.Put(f)
 		return
 	}
 	s.agent.NoteDataFrame(port)
@@ -242,10 +259,15 @@ func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 		// Dataplane is down until discovery finishes; the paper's
 		// switches likewise forward nothing before LDP completes.
 		s.Stats.Dropped++
+		s.pool.Put(f)
 		return
 	}
 	if s.loc.Level == ctrlmsg.LevelEdge && s.agent.IsHostPort(port) {
+		// fromHost only ever forwards rewritten clones, never the
+		// arriving frame itself: consume it here, after every branch
+		// (and the switch Tap above) has finished with it.
 		s.fromHost(port, f)
+		s.pool.Put(f)
 		return
 	}
 	s.fromFabric(port, f)
@@ -258,7 +280,9 @@ func (s *Switch) send(port int, f *ether.Frame) {
 			s.Tap(port, f, true)
 		}
 		l.Send(s, f)
+		return
 	}
+	s.pool.Put(f) // unwired port: the frame is consumed here
 }
 
 func (s *Switch) sendCtrl(m ctrlmsg.Msg) {
@@ -366,6 +390,7 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 		} else {
 			delete(s.excl, k)
 		}
+		s.exclEpoch++          // cached candidate sets are stale
 		s.flows.InvalidateAll() // routing changed; re-run slow paths
 	case ctrlmsg.McastInstall:
 		if len(v.OutPorts) == 0 {
@@ -420,7 +445,7 @@ func (s *Switch) handleARPFlood(v ctrlmsg.ARPFlood) {
 		},
 	}
 	for _, hp := range s.agent.HostPorts() {
-		s.send(hp, req.Clone())
+		s.send(hp, s.pool.Clone(req))
 	}
 }
 

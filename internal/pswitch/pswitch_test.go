@@ -121,3 +121,58 @@ func BenchmarkForwardUnicast(b *testing.B) {
 		b.Fatalf("blackholed %d", s.Stats.Blackholed)
 	}
 }
+
+// sink is a minimal sim.Node that swallows frames (and recycles them,
+// like a host NIC would).
+type sink struct {
+	eng *sim.Engine
+	n   int64
+}
+
+func (s *sink) Name() string                      { return "sink" }
+func (s *sink) Attach(int, *sim.Link)             {}
+func (s *sink) Start()                            {}
+func (s *sink) HandleFrame(_ int, f *ether.Frame) { s.n++; s.eng.FramePool().Put(f) }
+
+// BenchmarkForwardUnicastHit measures the full flow-table-hit unit of
+// work — HandleFrame, flow lookup, Link.Send, delivery event — with
+// real links wired, so what it reports is what every fabric hop costs
+// in steady state. Must be 0 allocs/op (Makefile bench-alloc gate).
+func BenchmarkForwardUnicastHit(b *testing.B) {
+	eng := sim.New(1)
+	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s.Start()
+	for p := 0; p < 4; p++ {
+		s.agent.HandleLDP(p, &ldp.Packet{Kind: ldp.KindLDM, Switch: ctrlmsg.SwitchID(p + 10),
+			Level: ctrlmsg.LevelAggregation, Pod: uint16(p), Pos: 0xff})
+	}
+	if !s.Resolved() {
+		b.Fatal("switch did not resolve as core")
+	}
+	drain := &sink{eng: eng}
+	for p := 0; p < 4; p++ {
+		sim.Connect(eng, s, p, drain, p, sim.LinkConfig{Rate: 100e9, Delay: 1000, QueueFrames: 64})
+	}
+	s.agent.Stop() // no keepalive events during measurement
+	f := &ether.Frame{
+		Dst:  ether.Addr{0x00, 0x02, 0x00, 0x00, 0x00, 0x01}, // pod 2
+		Src:  ether.Addr{0x00, 0x01, 0x00, 0x00, 0x00, 0x01},
+		Type: ether.TypeIPv4,
+		Payload: &ippkt.IPv4{Protocol: ippkt.ProtoUDP,
+			Payload: &ippkt.UDP{SrcPort: 1, DstPort: 2}},
+	}
+	s.HandleFrame(0, f) // warm the flow table and candidate cache
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HandleFrame(0, f)
+		eng.Run()
+	}
+	if s.Stats.Blackholed > 0 || s.Stats.Dropped > 0 {
+		b.Fatalf("blackholed %d dropped %d", s.Stats.Blackholed, s.Stats.Dropped)
+	}
+	if drain.n != int64(b.N)+1 {
+		b.Fatalf("sink got %d/%d", drain.n, b.N+1)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"portland/internal/ether"
 )
 
 // The engine's hot path — Schedule into the value-slice heap, pop and
@@ -49,6 +51,29 @@ func TestTimerResetAllocFree(t *testing.T) {
 	}
 }
 
+// Link.Send→deliver is the simulator's per-frame unit of work; with
+// the value-typed delivery event it must not allocate (previously each
+// Send captured the link state in a fresh closure).
+func TestLinkSendAllocFree(t *testing.T) {
+	e := New(1)
+	a := &node{name: "a", eng: e}
+	c := &node{name: "b", eng: e}
+	l := Connect(e, a, 0, c, 0, LinkConfig{Rate: 1e9, Delay: time.Microsecond, QueueFrames: 64})
+	f := &ether.Frame{Type: ether.TypeIPv4, Payload: ether.Raw(make([]byte, 128))}
+	l.Send(a, f)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Send(a, f)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Link.Send+deliver allocates %.1f objects per frame; want 0", avg)
+	}
+	if l.Drops != 0 {
+		t.Fatalf("unexpected drops: %d", l.Drops)
+	}
+}
+
 // Popped slots must not keep the executed callback reachable through
 // the heap's spare capacity — a closure can pin an entire fabric.
 func TestPopReleasesCallback(t *testing.T) {
@@ -63,6 +88,9 @@ func TestPopReleasesCallback(t *testing.T) {
 	for i, ev := range spare {
 		if ev.fn != nil {
 			t.Fatalf("heap slot %d still references its callback after pop", i)
+		}
+		if ev.dir != nil {
+			t.Fatalf("heap slot %d still references its link direction after pop", i)
 		}
 	}
 }

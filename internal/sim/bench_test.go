@@ -52,6 +52,29 @@ func BenchmarkEngineTimerChurn(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkLinkSend measures one complete send→deliver cycle in
+// steady state: Send queues a value-typed delivery event, Run pops and
+// fires it. This is the data path's unit of work; it must report
+// 0 allocs/op (the bench-alloc gate in the Makefile enforces it).
+func BenchmarkLinkSend(b *testing.B) {
+	e := New(1)
+	a := &node{name: "a", eng: e}
+	c := &node{name: "b", eng: e}
+	l := Connect(e, a, 0, c, 0, LinkConfig{Rate: 100e9, Delay: time.Microsecond, QueueFrames: 64})
+	f := &ether.Frame{Type: ether.TypeIPv4, Payload: ether.Raw(make([]byte, 1000))}
+	l.Send(a, f)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(a, f)
+		e.Run()
+	}
+	if int(l.Delivered) != b.N+1 {
+		b.Fatalf("delivered %d/%d", l.Delivered, b.N+1)
+	}
+}
+
 // BenchmarkLinkThroughput measures frames/second through one
 // simulated link, including serialization and delivery events.
 func BenchmarkLinkThroughput(b *testing.B) {

@@ -11,13 +11,34 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"time"
+
+	"portland/internal/ether"
 )
 
-// event is a scheduled callback.
+// event is a scheduled callback or, when dir is non-nil, a value-typed
+// frame-delivery record. Frame deliveries are by far the most common
+// event in a packet-rate-bound run; representing them in the heap
+// entry means a frame in flight costs no per-frame closure allocation
+// (previously Link.Send captured link state in a fresh closure for
+// every frame). The frame itself is NOT stored here: deliveries for a
+// link direction fire in FIFO order, so the direction keeps its own
+// in-flight ring and the event carries only the direction pointer.
+// Keeping the event at four words matters — the heap swaps events by
+// value, and a fatter struct measurably slows every Schedule/Run.
 type event struct {
 	at  time.Duration
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
+	dir *direction // frame-delivery variant (fn is nil)
+}
+
+// fire executes the event.
+func (ev *event) fire() {
+	if ev.dir != nil {
+		ev.dir.link.deliver(ev.dir)
+		return
+	}
+	ev.fn()
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq), stored by value
@@ -90,6 +111,11 @@ type Engine struct {
 	events  eventHeap
 	rng     *rand.Rand
 	stopped bool
+
+	// pool is the engine-local frame free-list; everything wired to
+	// this engine shares it, and nothing outside this engine ever
+	// touches it (the determinism-under-parallelism contract).
+	pool ether.FramePool
 }
 
 // New returns an engine whose PRNG is seeded with seed.
@@ -122,6 +148,21 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) {
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
+// scheduleDelivery queues a value-typed frame-delivery event: the
+// frame at the head of d's in-flight ring arrives at absolute time t.
+func (e *Engine) scheduleDelivery(t time.Duration, d *direction) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, dir: d})
+}
+
+// FramePool returns the engine-local frame free-list shared by every
+// node and link wired to this engine (see ether.FramePool for the
+// ownership rules).
+func (e *Engine) FramePool() *ether.FramePool { return &e.pool }
+
 // Stop makes Run and RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -134,7 +175,7 @@ func (e *Engine) Run() int {
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events.pop()
 		e.now = next.at
-		next.fn()
+		next.fire()
 		n++
 	}
 	return n
@@ -152,7 +193,7 @@ func (e *Engine) RunUntil(deadline time.Duration) int {
 		}
 		next := e.events.pop()
 		e.now = next.at
-		next.fn()
+		next.fire()
 		n++
 	}
 	if e.now < deadline && !e.stopped {

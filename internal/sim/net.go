@@ -60,11 +60,22 @@ type Link struct {
 	up bool
 
 	// Tap, if non-nil, observes every frame the moment it is
-	// delivered to a receiver (after queueing and propagation).
+	// delivered to a receiver (after queueing and propagation). The
+	// frame is valid only for the duration of the call; taps must not
+	// retain it (delivered frames may return to the engine's pool).
 	Tap func(f *ether.Frame)
 
-	// Drops counts frames lost to full queues or a down link.
+	// Drops counts every lost frame — the sum of the per-cause
+	// counters below.
 	Drops int64
+	// QueueDrops counts drop-tail losses: the egress queue was at
+	// QueueFrames when the frame arrived.
+	QueueDrops int64
+	// LossDrops counts frames discarded by the random LossRate coin.
+	LossDrops int64
+	// DownDrops counts frames discarded because the link was down,
+	// either at send time or while in flight.
+	DownDrops int64
 	// Delivered counts frames handed to a receiver.
 	Delivered int64
 }
@@ -74,9 +85,46 @@ type endpoint struct {
 	port int
 }
 
+// direction is one transmitter of a full-duplex link. It owns the
+// frames serialized onto the wire: delivery events fire in (at, seq)
+// order, and this direction schedules them with non-decreasing times
+// and increasing seq, so the in-flight frames form a FIFO — the
+// delivery event carries only the direction pointer and the frame is
+// popped from the ring when it fires. (Storing the frame in the event
+// itself would fatten every heap entry; see sim.event.)
 type direction struct {
+	link      *Link
+	toB       bool // this direction delivers to endpoint b
 	busyUntil time.Duration
-	queued    int
+	queued    int // frames in the ring == scheduled, undelivered
+
+	// inflight is a circular buffer of queued frames; head indexes the
+	// oldest. Capacity grows on demand and is reused thereafter, so
+	// steady-state sends allocate nothing.
+	inflight []*ether.Frame
+	head     int
+}
+
+// pushFrame appends f to the in-flight ring, growing it if full.
+func (d *direction) pushFrame(f *ether.Frame) {
+	if d.queued == len(d.inflight) {
+		grown := make([]*ether.Frame, max(8, 2*len(d.inflight)))
+		for i := 0; i < d.queued; i++ {
+			grown[i] = d.inflight[(d.head+i)%len(d.inflight)]
+		}
+		d.inflight, d.head = grown, 0
+	}
+	d.inflight[(d.head+d.queued)%len(d.inflight)] = f
+	d.queued++
+}
+
+// popFrame removes and returns the oldest in-flight frame.
+func (d *direction) popFrame() *ether.Frame {
+	f := d.inflight[d.head]
+	d.inflight[d.head] = nil
+	d.head = (d.head + 1) % len(d.inflight)
+	d.queued--
+	return f
 }
 
 // Connect wires (an,ap) to (bn,bp) with cfg and attaches both sides.
@@ -85,6 +133,8 @@ func Connect(e *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link 
 		cfg = DefaultLinkConfig
 	}
 	l := &Link{eng: e, cfg: cfg, a: endpoint{an, ap}, b: endpoint{bn, bp}, up: true}
+	l.ab = direction{link: l, toB: true}
+	l.ba = direction{link: l}
 	an.Attach(ap, l)
 	bn.Attach(bp, l)
 	return l
@@ -124,25 +174,30 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // queued for transmission or dropped (full queue / link down).
 func (l *Link) Send(from Node, f *ether.Frame) {
 	var dir *direction
-	var dst endpoint
 	switch from {
 	case l.a.node:
-		dir, dst = &l.ab, l.b
+		dir = &l.ab
 	case l.b.node:
-		dir, dst = &l.ba, l.a
+		dir = &l.ba
 	default:
 		panic(fmt.Sprintf("sim: node %s not on link %s<->%s", from.Name(), l.a.node.Name(), l.b.node.Name()))
 	}
 	if !l.up {
 		l.Drops++
+		l.DownDrops++
+		l.eng.pool.Put(f)
 		return
 	}
 	if dir.queued >= l.cfg.QueueFrames {
 		l.Drops++
+		l.QueueDrops++
+		l.eng.pool.Put(f)
 		return
 	}
 	if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
 		l.Drops++
+		l.LossDrops++
+		l.eng.pool.Put(f)
 		return
 	}
 	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
@@ -151,20 +206,30 @@ func (l *Link) Send(from Node, f *ether.Frame) {
 		start = dir.busyUntil
 	}
 	dir.busyUntil = start + ser
-	dir.queued++
-	arrive := dir.busyUntil + l.cfg.Delay - l.eng.Now()
-	l.eng.Schedule(arrive, func() {
-		dir.queued--
-		if !l.up { // failed while in flight
-			l.Drops++
-			return
-		}
-		l.Delivered++
-		if l.Tap != nil {
-			l.Tap(f)
-		}
-		dst.node.HandleFrame(dst.port, f)
-	})
+	dir.pushFrame(f)
+	l.eng.scheduleDelivery(dir.busyUntil+l.cfg.Delay, dir)
+}
+
+// deliver completes the oldest in-flight frame on dir: it runs from
+// the engine's event loop as a value-typed delivery event (no
+// per-frame closure; see sim.event).
+func (l *Link) deliver(dir *direction) {
+	f := dir.popFrame()
+	dst := l.a
+	if dir.toB {
+		dst = l.b
+	}
+	if !l.up { // failed while in flight
+		l.Drops++
+		l.DownDrops++
+		l.eng.pool.Put(f)
+		return
+	}
+	l.Delivered++
+	if l.Tap != nil {
+		l.Tap(f)
+	}
+	dst.node.HandleFrame(dst.port, f)
 }
 
 // String identifies the link by its endpoints.

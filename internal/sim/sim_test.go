@@ -216,6 +216,40 @@ func TestLinkQueueOverflowDrops(t *testing.T) {
 	if len(b.got) != 2 || l.Drops != 3 {
 		t.Fatalf("delivered=%d drops=%d, want 2/3", len(b.got), l.Drops)
 	}
+	if l.QueueDrops != 3 || l.LossDrops != 0 || l.DownDrops != 0 {
+		t.Fatalf("drop causes queue=%d loss=%d down=%d, want 3/0/0",
+			l.QueueDrops, l.LossDrops, l.DownDrops)
+	}
+}
+
+// Drops is the sum of per-cause counters; each loss mechanism must
+// charge its own counter so experiments can tell congestion from
+// faults from injected bit errors.
+func TestLinkDropAccountingByCause(t *testing.T) {
+	e := New(7)
+	a := &node{name: "a", eng: e}
+	b := &node{name: "b", eng: e}
+	l := Connect(e, a, 0, b, 0, LinkConfig{Rate: 1e9, Delay: time.Millisecond, QueueFrames: 8, LossRate: 0.5})
+	for i := 0; i < 64; i++ {
+		l.Send(a, &ether.Frame{Payload: ether.Raw("x")})
+	}
+	e.Run()
+	l.SetUp(false)
+	l.Send(a, &ether.Frame{Payload: ether.Raw("y")})
+	e.Run()
+	if l.LossDrops == 0 {
+		t.Fatal("LossRate drops not charged to LossDrops")
+	}
+	if l.DownDrops != 1 {
+		t.Fatalf("DownDrops=%d, want 1", l.DownDrops)
+	}
+	if l.Drops != l.QueueDrops+l.LossDrops+l.DownDrops {
+		t.Fatalf("Drops=%d is not the sum of causes %d+%d+%d",
+			l.Drops, l.QueueDrops, l.LossDrops, l.DownDrops)
+	}
+	if int64(len(b.got))+l.Drops != 65 {
+		t.Fatal("conservation violated")
+	}
 }
 
 func TestLinkDownDropsInFlight(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 
 	"portland/internal/ether"
 	"portland/internal/host"
+	"portland/internal/ippkt"
 	"portland/internal/metrics"
 	"portland/internal/sim"
 )
@@ -52,19 +53,31 @@ type CBR struct {
 	// Sent counts transmissions.
 	Sent int64
 
-	ticker *sim.Ticker
+	ticker  *sim.Ticker
+	payload *ippkt.IPv4 // built once; probes are identical and read-only
 }
 
 // StartCBR begins a probe flow from src to dst at the given packet
 // interval. Stop it with Stop.
+//
+// Every probe is byte-identical, so the packet is built once and each
+// tick sends a pool-backed frame sharing it — payloads are immutable
+// along the forwarding path (switches rewrite only MAC headers), which
+// is the same sharing every frame clone already relies on. At probe
+// rates the convergence experiments run, this keeps the traffic
+// source, not just the fabric, off the allocator.
 func StartCBR(eng *sim.Engine, src, dst *host.Host, port uint16, interval time.Duration, size int) *CBR {
 	c := &CBR{Src: src, Dst: dst, Port: port, Interval: interval, Size: size}
+	c.payload = &ippkt.IPv4{
+		TTL: 64, Protocol: ippkt.ProtoUDP, Src: src.IP(), Dst: dst.IP(),
+		Payload: &ippkt.UDP{SrcPort: port, DstPort: port, Payload: ether.Raw(make([]byte, size))},
+	}
 	dst.Endpoint().BindUDP(port, func(_ netip.Addr, _ uint16, _ ether.Payload) {
 		c.RX.Record(eng.Now())
 	})
 	c.ticker = eng.NewTicker(interval, interval, func() {
 		c.Sent++
-		src.Endpoint().SendUDP(dst.IP(), port, port, size)
+		src.Endpoint().SendIP(dst.IP(), ippkt.ProtoUDP, c.payload)
 	})
 	return c
 }
