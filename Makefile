@@ -8,9 +8,21 @@ BENCH_OUT ?= BENCH_$(DATE).json
 # The steady-state data-path benchmarks that must report 0 allocs/op.
 ZERO_ALLOC_BENCHES := LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$
 
-.PHONY: check build vet test race fuzz bench bench-alloc bench-json bench-diff profile
+.PHONY: check build vet test race fuzz bench bench-alloc bench-json bench-diff profile docs-lint report-golden
 
-check: vet build test race fuzz bench bench-alloc
+check: vet build docs-lint test race fuzz bench bench-alloc
+
+# Documentation gate: every exported identifier in the observability
+# surface (obs, metrics, trace) must carry a doc comment.
+docs-lint:
+	$(GO) run ./cmd/docslint ./internal/obs ./internal/metrics ./internal/trace
+
+# Report-schema gate alone (also runs as part of `make test`): the
+# checked-in Fig. 9 report must round-trip byte-identically and a fresh
+# replay must reproduce it. Regenerate with:
+#   go test ./internal/experiments -run Golden -update
+report-golden:
+	$(GO) test ./internal/experiments -run 'Fig9ReportGolden'
 
 build:
 	$(GO) build ./...

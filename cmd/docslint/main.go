@@ -1,0 +1,144 @@
+// Command docslint enforces the documentation bar on selected
+// packages: every exported identifier — functions, types, methods on
+// exported types, and const/var groups — must carry a doc comment, and
+// every package must have a package comment. It is a stdlib-only
+// subset of what golint used to check, wired into `make docs-lint`.
+//
+// Usage:
+//
+//	docslint ./internal/obs ./internal/metrics ./internal/trace
+//
+// Exit status is 1 if any identifier is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docslint <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := lintDir(strings.TrimPrefix(dir, "./"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and reports
+// every undocumented exported identifier. Returns the finding count.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s is exported but undocumented\n",
+			filepath.ToSlash(p.Filename), p.Line, what, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			// Position the finding on any file of the package.
+			for _, f := range pkg.Files {
+				complain(f.Package, "package", pkg.Name)
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv := receiverType(d); recv != "" {
+						if ast.IsExported(recv) {
+							complain(d.Pos(), "method", recv+"."+d.Name.Name)
+						}
+						continue
+					}
+					complain(d.Pos(), "func", d.Name.Name)
+				case *ast.GenDecl:
+					lintGenDecl(d, complain)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// lintGenDecl checks a type/const/var declaration. A doc comment on
+// the grouped declaration covers every spec inside it (the idiomatic
+// way to document enum blocks); otherwise each exported spec needs its
+// own.
+func lintGenDecl(d *ast.GenDecl, complain func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				complain(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil {
+					complain(name.Pos(), d.Tok.String(), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverType returns the bare receiver type name of a method, or ""
+// for a plain function.
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

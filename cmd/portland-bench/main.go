@@ -12,25 +12,30 @@
 //	portland-bench -parallel 4     # worker-pool size (0 = GOMAXPROCS)
 //	portland-bench -serial         # force one worker (escape hatch)
 //	portland-bench -cpuprofile cpu.prof -memprofile mem.prof
+//	portland-bench -reports out/   # also write <id>-report.json per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"portland/internal/experiments"
+	"portland/internal/obs"
 	"portland/internal/runner"
 )
 
 type experiment struct {
 	id   string
 	desc string
-	run  func(quick bool) error
+	// run executes the experiment, prints its table/series, and
+	// returns the observability report (nil for drivers without one).
+	run func(quick bool) (*obs.Report, error)
 }
 
 func main() {
@@ -48,6 +53,7 @@ func run() int {
 		serial     = flag.Bool("serial", false, "run sweeps on one worker (same output, for bisecting)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		reports    = flag.String("reports", "", "directory for per-experiment <id>-report.json files")
 	)
 	flag.Parse()
 
@@ -115,34 +121,47 @@ func run() int {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	if *reports != "" {
+		if err := os.MkdirAll(*reports, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	start := time.Now()
 	for _, e := range exps {
 		if *expFlag != "all" && !want[e.id] {
 			continue
 		}
-		if err := e.run(*quick); err != nil {
+		rep, err := e.run(*quick)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			return 1
+		}
+		if *reports != "" && rep != nil {
+			if err := writeReport(*reports, e.id, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				return 1
+			}
 		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	return 0
 }
 
-func runT1(quick bool) error {
+func runT1(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultTable1()
 	if quick {
 		cfg.Ks = []int{4, 8}
 	}
 	res, err := experiments.RunTable1(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runF9(quick bool) error {
+func runF9(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultFig9()
 	if quick {
 		cfg.MaxFaults = 6
@@ -150,13 +169,13 @@ func runF9(quick bool) error {
 	}
 	res, err := experiments.RunFig9(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runF9S(quick bool) error {
+func runF9S(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultFig9()
 	cfg.Mode = experiments.FailSwitches
 	cfg.MaxFaults = 6
@@ -167,53 +186,57 @@ func runF9S(quick bool) error {
 	}
 	res, err := experiments.RunFig9(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runF10(bool) error {
+func runF10(bool) (*obs.Report, error) {
 	res, err := experiments.RunFig10(experiments.DefaultFig10())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runF11(quick bool) error {
+func runF11(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultFig11()
 	if quick {
 		cfg.Trials = 4
 	}
 	res, err := experiments.RunFig11(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runF12(bool) error {
+func runF12(bool) (*obs.Report, error) {
 	res, err := experiments.RunFig12(experiments.DefaultFig12())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	// No report: this driver predates the observability layer's
+	// journal capture (micro/analytic benchmark, no fabric journals).
+	return nil, nil
 }
 
-func runF13(bool) error {
+func runF13(bool) (*obs.Report, error) {
 	res, err := experiments.RunFig13(experiments.DefaultFig13())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	// No report: this driver predates the observability layer's
+	// journal capture (micro/analytic benchmark, no fabric journals).
+	return nil, nil
 }
 
-func runF14(quick bool) error {
+func runF14(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultFig14()
 	if quick {
 		cfg.Registry = 8192
@@ -221,35 +244,37 @@ func runF14(quick bool) error {
 	}
 	res, err := experiments.RunFig14(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	// No report: this driver predates the observability layer's
+	// journal capture (micro/analytic benchmark, no fabric journals).
+	return nil, nil
 }
 
-func runFMF(quick bool) error {
+func runFMF(quick bool) (*obs.Report, error) {
 	cfg := experiments.DefaultFMF()
 	if quick {
 		cfg.Outages = []time.Duration{100 * time.Millisecond, 400 * time.Millisecond}
 	}
 	res, err := experiments.RunFMF(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA1(bool) error {
+func runA1(bool) (*obs.Report, error) {
 	res, err := experiments.RunA1(experiments.DefaultA1())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA2(quick bool) error {
+func runA2(quick bool) (*obs.Report, error) {
 	// The full sweep ends at the paper's deployment target: a k=48
 	// fat tree with 2880 switches and 27,648 hosts.
 	ks := []int{4, 8, 16, 32, 48}
@@ -258,48 +283,48 @@ func runA2(quick bool) error {
 	}
 	res, err := experiments.RunA2(ks)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA3(bool) error {
+func runA3(bool) (*obs.Report, error) {
 	res, err := experiments.RunA3(4, 8)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA5(quick bool) error {
+func runA5(quick bool) (*obs.Report, error) {
 	flows := 256
 	if quick {
 		flows = 64
 	}
 	res, err := experiments.RunA5(4, flows)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA6(quick bool) error {
+func runA6(quick bool) (*obs.Report, error) {
 	probes := 50
 	if quick {
 		probes = 20
 	}
 	res, err := experiments.RunA6(4, probes)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
 }
 
-func runA4(quick bool) error {
+func runA4(quick bool) (*obs.Report, error) {
 	ivs := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond}
 	trials := 5
 	if quick {
@@ -307,8 +332,21 @@ func runA4(quick bool) error {
 	}
 	res, err := experiments.RunA4(ivs, trials)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Print(os.Stdout)
-	return nil
+	return res.Report, nil
+}
+
+// writeReport writes one experiment's versioned JSON report into dir.
+func writeReport(dir, id string, rep *obs.Report) error {
+	f, err := os.Create(filepath.Join(dir, id+"-report.json"))
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -20,6 +20,7 @@ import (
 	"portland/internal/host"
 	"portland/internal/ldp"
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/pswitch"
 	"portland/internal/sim"
 	"portland/internal/topo"
@@ -83,6 +84,14 @@ type Fabric struct {
 	// Links is parallel to Spec.Links.
 	Links []*sim.Link
 
+	// Obs is the fabric's event registry: every switch, the manager(s)
+	// and the fabric itself journal control-plane transitions into it.
+	// Always non-nil after Build; see internal/obs for the event model.
+	Obs *obs.Registry
+	// jFabric records fabric-level interventions (link/switch faults
+	// injected by the harness, manager kill/restart, takeover).
+	jFabric *obs.Journal
+
 	// OnTakeover, if set, observes standby promotion (failover.go).
 	OnTakeover func(epoch uint32)
 
@@ -120,7 +129,10 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 		Hosts:    make(map[topo.NodeID]*host.Host),
 		ctrl:     make(map[topo.NodeID]*ctrlPair),
 		byName:   make(map[string]topo.NodeID),
+		Obs:      obs.NewRegistry(),
 	}
+	f.jFabric = f.Obs.Journal("fabric", 128, f.Eng.Now)
+	f.Manager.SetJournal(f.Obs.Journal("mgr", 2048, f.Eng.Now))
 	if opts.Standby {
 		f.wireStandby()
 	}
@@ -135,6 +147,7 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 			f.Hosts[n.ID] = host.New(f.Eng, n.Name, mac, ip)
 		default:
 			sw := pswitch.New(f.Eng, SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
+			sw.SetJournal(f.Obs.Journal(n.Name, 256, f.Eng.Now))
 			f.Switches[n.ID] = sw
 			f.wireControl(n.ID, sw)
 		}
@@ -272,10 +285,16 @@ func (f *Fabric) LinkBetween(a, b string) (int, bool) {
 }
 
 // FailLink takes the i-th blueprint link down.
-func (f *Fabric) FailLink(i int) { f.Links[i].SetUp(false) }
+func (f *Fabric) FailLink(i int) {
+	f.jFabric.Record(obs.LinkFailed, uint64(i), 0, 0, 0)
+	f.Links[i].SetUp(false)
+}
 
 // RestoreLink brings the i-th blueprint link back.
-func (f *Fabric) RestoreLink(i int) { f.Links[i].SetUp(true) }
+func (f *Fabric) RestoreLink(i int) {
+	f.jFabric.Record(obs.LinkRestored, uint64(i), 0, 0, 0)
+	f.Links[i].SetUp(true)
+}
 
 // FailSwitch crashes a switch: it stops speaking LDP and discards all
 // traffic; neighbors discover the failure through missed LDMs.

@@ -6,9 +6,12 @@ package core
 import (
 	"time"
 
+	"fmt"
+
 	"portland/internal/ctrlmsg"
 	"portland/internal/ctrlnet"
 	"portland/internal/fabricmgr"
+	"portland/internal/obs"
 	"portland/internal/pswitch"
 	"portland/internal/topo"
 )
@@ -115,6 +118,7 @@ func (f *Fabric) wireControl(id topo.NodeID, sw *pswitch.Switch) {
 func (f *Fabric) wireStandby() {
 	f.Standby = fabricmgr.New()
 	f.Standby.SetPassive(true)
+	f.Standby.SetJournal(f.Obs.Journal("mgr-standby", 2048, f.Eng.Now))
 	hbP, hbS := ctrlnet.SimPipe(f.Eng, f.Opts.CtrlDelay)
 	f.hbPrimary = hbP
 	hbS.SetHandler(func(m ctrlmsg.Msg) {
@@ -140,6 +144,7 @@ func (f *Fabric) wireStandby() {
 func (f *Fabric) takeover() {
 	f.tookOver = true
 	f.epoch++
+	f.jFabric.Record(obs.Takeover, uint64(f.epoch), 0, 0, 0)
 	f.Standby.SetPassive(false)
 	f.Manager = f.Standby
 	f.Standby.BeginResync(f.epoch, f.standbyConns())
@@ -164,6 +169,7 @@ func (f *Fabric) Epoch() uint32 { return f.epoch }
 // DHCP, new fault reactions) go dark.
 func (f *Fabric) KillManager() {
 	f.mgrDown = true
+	f.jFabric.Record(obs.MgrKilled, uint64(f.epoch), 0, 0, 0)
 	for _, id := range f.Spec.Switches() {
 		f.ctrl[id].mgrRaw.SetUp(false)
 	}
@@ -186,7 +192,9 @@ func (f *Fabric) ManagerAlive() bool { return !f.mgrDown }
 func (f *Fabric) RestartManager() *fabricmgr.Manager {
 	f.epoch++
 	f.mgrDown = false
+	f.jFabric.Record(obs.MgrRestarted, uint64(f.epoch), 0, 0, 0)
 	m := fabricmgr.New()
+	m.SetJournal(f.Obs.Journal(fmt.Sprintf("mgr#%d", f.epoch), 2048, f.Eng.Now))
 	f.Manager = m
 	conns := make([]ctrlnet.Conn, 0, len(f.ctrl))
 	for _, id := range f.Spec.Switches() {

@@ -89,9 +89,17 @@ func buildEchoRig(t testing.TB) *echoRig {
 }
 
 // TestEndToEndEchoAllocFree is the tentpole assertion: a full
-// request/reply round across the fabric allocates nothing once warm.
+// request/reply round across the fabric allocates nothing once warm —
+// with journaling enabled. Control-plane activity must have recorded
+// events during warmup (proof the journals are live), and the
+// steady-state echo rounds must record nothing (the hot path is
+// counters only — see internal/obs).
 func TestEndToEndEchoAllocFree(t *testing.T) {
 	rig := buildEchoRig(t)
+	capBefore := rig.f.Obs.EventsCaptured()
+	if capBefore == 0 {
+		t.Fatal("no journal events captured during warmup; journaling is wired off")
+	}
 	before := rig.received
 	avg := testing.AllocsPerRun(500, rig.sendOne)
 	if avg != 0 {
@@ -99,6 +107,9 @@ func TestEndToEndEchoAllocFree(t *testing.T) {
 	}
 	if rig.received == before {
 		t.Fatal("no replies delivered during measurement")
+	}
+	if got := rig.f.Obs.EventsCaptured(); got != capBefore {
+		t.Fatalf("steady-state echo journaled %d events; the data path must not record", got-capBefore)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
@@ -20,6 +21,8 @@ type A5Result struct {
 	PerCore   []int64 // frames delivered through each core (sorted desc)
 	Imbalance float64 // max/mean
 	Spread    metrics.Summary
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
 }
 
 // RunA5 starts many random inter-pod flows and counts data frames per
@@ -77,6 +80,12 @@ func runA5Cell(k, flows int) (*A5Result, error) {
 	if mean := float64(total) / float64(len(res.PerCore)); mean > 0 {
 		res.Imbalance = res.Spread.Max / mean
 	}
+	rep := newReport("a5", rig.Seed)
+	rep.Params["k"] = itoa(k)
+	rep.Params["flows"] = itoa(flows)
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{obsCell(f, 0, 0, rig.Seed)}
+	res.Report = rep
 	return res, nil
 }
 

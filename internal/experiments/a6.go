@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 )
 
@@ -23,6 +24,8 @@ type A6Row struct {
 type A6Result struct {
 	K    int
 	Rows []A6Row
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
 }
 
 // RunA6 pings representative pairs in each locality class. Single
@@ -77,6 +80,12 @@ func runA6Cell(k, probes int) (*A6Result, error) {
 		}
 		res.Rows = append(res.Rows, A6Row{Class: c.name, Hops: c.hops, RTT: metrics.Summarize(samples)})
 	}
+	rep := newReport("a6", rig.Seed)
+	rep.Params["k"] = itoa(k)
+	rep.Params["probes"] = itoa(probes)
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{obsCell(f, 0, 0, rig.Seed)}
+	res.Report = rep
 	return res, nil
 }
 

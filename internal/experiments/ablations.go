@@ -11,6 +11,7 @@ import (
 	"portland/internal/host"
 	"portland/internal/ldp"
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/sim"
 	"portland/internal/topo"
@@ -38,6 +39,16 @@ type A1Result struct {
 	PortLandMbps float64
 	BaselineMbps float64
 	Speedup      float64
+	// Report is the run's observability report (PortLand half only —
+	// the baseline fabric has no journals); Print never reads it.
+	Report *obs.Report
+}
+
+// a1Half is one fabric's goodput plus (for the PortLand half) its
+// observability snapshot.
+type a1Half struct {
+	mbps float64
+	cell obs.CellReport
 }
 
 // RunA1 sends one CBR flow per left-half host to a distinct
@@ -46,36 +57,40 @@ type A1Result struct {
 // funnels them through its single surviving root path. The two
 // fabrics are independent engines and run as two runner cells.
 func RunA1(cfg A1Config) (*A1Result, error) {
-	mbps, err := runner.Map(2, func(i int) (float64, error) {
+	halves, err := runner.Map(2, func(i int) (a1Half, error) {
 		if i == 0 {
 			// PortLand.
 			rig := DefaultRig()
 			rig.K = cfg.K
 			f, err := rig.build()
 			if err != nil {
-				return 0, err
+				return a1Half{}, err
 			}
-			return crossSectionGoodput(f.Eng, f.HostList(), cfg), nil
+			mbps := crossSectionGoodput(f.Eng, f.HostList(), cfg)
+			return a1Half{mbps: mbps, cell: obsCell(f, 0, 0, rig.Seed)}, nil
 		}
 		// Baseline.
 		spec, err := topo.FatTree(cfg.K)
 		if err != nil {
-			return 0, err
+			return a1Half{}, err
 		}
 		bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
 		bf.Start()
 		if err := bf.AwaitTree(20 * time.Second); err != nil {
-			return 0, err
+			return a1Half{}, err
 		}
-		return crossSectionGoodput(bf.Eng, bf.HostList(), cfg), nil
+		return a1Half{mbps: crossSectionGoodput(bf.Eng, bf.HostList(), cfg)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &A1Result{Cfg: cfg, PortLandMbps: mbps[0], BaselineMbps: mbps[1]}
+	res := &A1Result{Cfg: cfg, PortLandMbps: halves[0].mbps, BaselineMbps: halves[1].mbps}
 	if res.BaselineMbps > 0 {
 		res.Speedup = res.PortLandMbps / res.BaselineMbps
 	}
+	res.Report = sweepReport("a1", DefaultRig().Seed, map[string]string{
+		"k": itoa(cfg.K),
+	}, []obs.CellReport{halves[0].cell})
 	return res, nil
 }
 
@@ -134,17 +149,25 @@ type A2Row struct {
 // A2Result is the sweep.
 type A2Result struct {
 	Rows []A2Row
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
+}
+
+// a2Cell pairs one degree's row with its observability snapshot.
+type a2Cell struct {
+	row  A2Row
+	cell obs.CellReport
 }
 
 // RunA2 measures the virtual time from cold boot until every switch
 // has resolved its location; each degree boots on its own engine, one
 // runner cell per k.
 func RunA2(ks []int) (*A2Result, error) {
-	rows, err := runner.Map(len(ks), func(i int) (A2Row, error) {
+	cells, err := runner.Map(len(ks), func(i int) (a2Cell, error) {
 		k := ks[i]
 		f, err := core.NewFatTree(k, core.Options{Seed: 1})
 		if err != nil {
-			return A2Row{}, err
+			return a2Cell{}, err
 		}
 		f.Start()
 		deadline := 60 * time.Second
@@ -152,21 +175,28 @@ func RunA2(ks []int) (*A2Result, error) {
 			f.Eng.RunUntil(f.Eng.Now() + time.Millisecond)
 		}
 		if !f.AllResolved() {
-			return A2Row{}, errDiscoveryStalled
+			return a2Cell{}, errDiscoveryStalled
 		}
 		if err := f.CheckDiscovery(); err != nil {
-			return A2Row{}, err
+			return a2Cell{}, err
 		}
-		return A2Row{
+		row := A2Row{
 			K:         k,
 			Switches:  len(f.Spec.Switches()),
 			Discovery: f.Eng.Now(),
-		}, nil
+		}
+		return a2Cell{row: row, cell: obsCell(f, i, 0, 1)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &A2Result{Rows: rows}, nil
+	res := &A2Result{}
+	res.Report = sweepReport("a2", 1, nil, nil)
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		res.Report.Cells = append(res.Report.Cells, c.cell)
+	}
+	return res, nil
 }
 
 const errDiscoveryStalled = errString("a2: discovery did not complete")
@@ -187,6 +217,9 @@ func (r *A2Result) Print(w io.Writer) {
 // A3Result compares the network cost of one address resolution.
 type A3Result struct {
 	K int
+	// Report is the run's observability report (PortLand half only);
+	// Print never reads it.
+	Report *obs.Report
 	// PortLand: control messages + frames touched per resolution.
 	PLCtrlMsgs   float64
 	PLDataFrames float64
@@ -201,6 +234,7 @@ type a3Half struct {
 	ctrlMsgs     float64
 	dataFrames   float64
 	hostsHearing float64
+	cell         obs.CellReport
 }
 
 // RunA3 measures per-resolution cost in both fabrics.
@@ -220,6 +254,10 @@ func RunA3(k int, resolutions int) (*A3Result, error) {
 		PLDataFrames: halves[0].dataFrames,
 		BLDataFrames: halves[1].dataFrames,
 		HostsHearing: halves[1].hostsHearing,
+		Report: sweepReport("a3", DefaultRig().Seed, map[string]string{
+			"k":           itoa(k),
+			"resolutions": itoa(resolutions),
+		}, []obs.CellReport{halves[0].cell}),
 	}, nil
 }
 
@@ -247,6 +285,7 @@ func runA3PortLand(k, resolutions int) (a3Half, error) {
 	delivered1 := linkDelivered(f.Links)
 	out.ctrlMsgs = float64(toMgr1.Msgs-toMgr0.Msgs+fromMgr1.Msgs-fromMgr0.Msgs) / float64(n)
 	out.dataFrames = (float64(delivered1-delivered0) - bgPerSec*window.Seconds()) / float64(n)
+	out.cell = obsCell(f, 0, 0, rig.Seed)
 	return out, nil
 }
 
@@ -317,6 +356,8 @@ type A4Row struct {
 // A4Result is the sweep.
 type A4Result struct {
 	Rows []A4Row
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
 }
 
 // a4Trial is one (interval, trial) cell's contribution.
@@ -324,6 +365,7 @@ type a4Trial struct {
 	sample    float64
 	hasSample bool
 	ldmRate   float64
+	cell      obs.CellReport
 }
 
 func runA4Cell(iv time.Duration, trial int) (a4Trial, error) {
@@ -360,6 +402,7 @@ func runA4Cell(iv time.Duration, trial int) (a4Trial, error) {
 		out.sample, out.hasSample = metrics.Ms(conv), true
 	}
 	flow.Stop()
+	out.cell = obsCell(f, 0, trial, rig.Seed)
 	return out, nil
 }
 
@@ -374,10 +417,14 @@ func RunA4(intervals []time.Duration, trials int) (*A4Result, error) {
 		return nil, err
 	}
 	res := &A4Result{}
+	res.Report = sweepReport("a4", DefaultRig().Seed, map[string]string{
+		"trials": itoa(trials),
+	}, nil)
 	for p, iv := range intervals {
 		var samples []float64
 		var ldmRate float64
 		for _, tr := range cells[p] {
+			res.Report.Cells = append(res.Report.Cells, tr.cell)
 			if tr.hasSample {
 				samples = append(samples, tr.sample)
 			}

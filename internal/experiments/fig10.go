@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/tcplite"
 	"portland/internal/topo"
@@ -44,6 +45,9 @@ type Fig10Result struct {
 	NetworkConv time.Duration // fabric reconvergence (probe-measured)
 	Timeouts    int64
 	Retransmits int64
+	// Report is the run's observability report (failure timeline and
+	// counters); Print never reads it.
+	Report *obs.Report
 }
 
 // RunFig10 reproduces Figure 10: one inter-pod bulk TCP flow, fail a
@@ -103,6 +107,17 @@ func runFig10Cell(cfg Fig10Config) (*Fig10Result, error) {
 	}
 	res.Timeouts = conn.Stats.Timeouts
 	res.Retransmits = conn.Stats.Retransmits
+
+	rep := newReport("f10", cfg.Rig.Seed)
+	rep.Params["k"] = itoa(cfg.Rig.K)
+	rep.Params["min_rto"] = cfg.MinRTO.String()
+	rep.Params["failed_link"] = linkName(f, link)
+	merged := f.Obs.Merge()
+	rep.Timeline = obs.Timeline(merged, res.FailAt, f.Eng.Now())
+	rep.ARPLatency = obs.ARPLatencies(merged)
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{obsCell(f, 0, 0, cfg.Rig.Seed)}
+	res.Report = rep
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"portland/internal/ether"
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/topo"
 )
@@ -30,12 +31,15 @@ type Fig11Result struct {
 	Cfg         Fig11Config
 	Convergence metrics.Summary // ms, all receivers × trials
 	Dead        int
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
 }
 
 // fig11Trial is one trial's contribution, merged in trial order.
 type fig11Trial struct {
 	samples []float64
 	dead    int
+	cell    obs.CellReport
 }
 
 func runFig11Cell(cfg Fig11Config, trial int) (fig11Trial, error) {
@@ -85,6 +89,7 @@ func runFig11Cell(cfg Fig11Config, trial int) (fig11Trial, error) {
 			out.samples = append(out.samples, metrics.Ms(conv))
 		}
 	}
+	out.cell = obsCell(f, 0, trial, rig.Seed)
 	return out, nil
 }
 
@@ -98,10 +103,16 @@ func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
 		return nil, err
 	}
 	res := &Fig11Result{Cfg: cfg}
+	res.Report = sweepReport("f11", cfg.Rig.Seed, map[string]string{
+		"k":          itoa(cfg.Rig.K),
+		"trials":     itoa(cfg.Trials),
+		"send_every": cfg.SendEvery.String(),
+	}, nil)
 	var samples []float64
 	for _, tr := range cells {
 		samples = append(samples, tr.samples...)
 		res.Dead += tr.dead
+		res.Report.Cells = append(res.Report.Cells, tr.cell)
 	}
 	res.Convergence = metrics.Summarize(samples)
 	return res, nil

@@ -7,6 +7,7 @@ import (
 
 	"portland/internal/faults"
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
@@ -59,6 +60,9 @@ type Fig9Row struct {
 type Fig9Result struct {
 	Cfg  Fig9Config
 	Rows []Fig9Row
+	// Report is the run's observability report (per-cell journal and
+	// counter snapshots); Print never reads it.
+	Report *obs.Report
 }
 
 // fig9Trial is one (fault-count, trial) cell's raw samples, merged
@@ -69,18 +73,44 @@ type fig9Trial struct {
 	recMs    []float64
 	affected int
 	dead     int
+	cell     obs.CellReport
 }
 
 // runFig9Cell runs one independent trial on its own engine. The seed
 // derives only from (base seed, fault count, trial), so the cell is a
 // pure function of its grid coordinate and can run on any worker.
 func runFig9Cell(cfg Fig9Config, n, trial int) (fig9Trial, error) {
+	out, _, err := fig9Cell(cfg, n, trial, false)
+	return out, err
+}
+
+// ReplayFig9 re-runs one (fault-count, trial) cell of a Figure 9 sweep
+// and returns its observability report: the failure→reconvergence
+// timeline, per-flow convergence, ARP latency, churn and counters.
+// Because a cell is a pure function of (config, coordinate), the
+// replayed run is bit-identical to the cell inside the original sweep
+// — the report describes exactly what RunFig9 measured.
+func ReplayFig9(cfg Fig9Config, n, trial int) (*obs.Report, error) {
+	_, rep, err := fig9Cell(cfg, n, trial, true)
+	if err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("no failure set of size %d preserves routability at k=%d (trial %d)", n, cfg.Rig.K, trial)
+	}
+	return rep, nil
+}
+
+// fig9Cell is the shared cell body: the sweep path (report=false)
+// measures and returns only the trial samples; the replay path
+// additionally assembles the obs.Report after the run completes.
+func fig9Cell(cfg Fig9Config, n, trial int, report bool) (fig9Trial, *obs.Report, error) {
 	var out fig9Trial
 	rig := cfg.Rig
 	rig.Seed = cfg.Rig.Seed + uint64(n*1000+trial)
 	f, err := rig.build()
 	if err != nil {
-		return out, err
+		return out, nil, err
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
@@ -96,7 +126,8 @@ func runFig9Cell(cfg Fig9Config, n, trial int) (fig9Trial, error) {
 		links, ok = faults.PickConnected(f.Eng.Rand(), f, n)
 	}
 	if !ok {
-		return out, nil
+		out.cell = obsCell(f, n, trial, rig.Seed)
+		return out, nil, nil
 	}
 	out.feasible = true
 	failAt := f.Eng.Now()
@@ -107,20 +138,27 @@ func runFig9Cell(cfg Fig9Config, n, trial int) (fig9Trial, error) {
 	faults.Schedule{Events: []faults.Event{ev}}.Apply(f)
 	f.RunFor(1 * time.Second)
 
+	var flowView []obs.FlowConvergence
 	for _, fl := range flows {
 		conv, recovered := fl.RX.ConvergenceAfter(failAt, cfg.ProbeEvery)
 		if !recovered {
 			out.dead++
-			continue
-		}
-		if conv > 2*cfg.ProbeEvery {
+		} else if conv > 2*cfg.ProbeEvery {
 			out.affected++
 			out.failMs = append(out.failMs, metrics.Ms(conv))
 		}
+		if report {
+			flowView = append(flowView, obs.FlowConvergence{
+				Flow:        fl.Src.Name() + "->" + fl.Dst.Name(),
+				ConvergedMs: metrics.Ms(conv),
+				Recovered:   recovered,
+				Affected:    recovered && conv > 2*cfg.ProbeEvery,
+			})
+		}
 	}
 
+	restoreAt := failAt + ev.Duration // armed by the schedule
 	if cfg.MeasureRecovery {
-		restoreAt := failAt + ev.Duration // armed by the schedule
 		f.RunFor(1 * time.Second)
 		for _, fl := range flows {
 			conv, recovered := fl.RX.ConvergenceAfter(restoreAt, cfg.ProbeEvery)
@@ -132,7 +170,45 @@ func runFig9Cell(cfg Fig9Config, n, trial int) (fig9Trial, error) {
 	for _, fl := range flows {
 		fl.Stop()
 	}
-	return out, nil
+	out.cell = obsCell(f, n, trial, rig.Seed)
+	if !report {
+		return out, nil, nil
+	}
+
+	// Assemble the report — strictly after the run, from the journals
+	// the fabric filled along the way.
+	rep := newReport("f9", rig.Seed)
+	rep.Params["k"] = itoa(rig.K)
+	rep.Params["faults"] = itoa(n)
+	rep.Params["trial"] = itoa(trial)
+	rep.Params["probe_every"] = cfg.ProbeEvery.String()
+	if cfg.Mode == FailSwitches {
+		rep.Params["mode"] = "switches"
+	} else {
+		rep.Params["mode"] = "links"
+		for i, li := range links {
+			rep.Params["link"+itoa(i)] = linkName(f, li)
+		}
+	}
+	merged := f.Obs.Merge()
+	conv := &obs.Convergence{
+		FaultAtNs: int64(failAt),
+		Failure:   metrics.Summarize(out.failMs),
+		Recovery:  metrics.Summarize(out.recMs),
+		Flows:     flowView,
+	}
+	if cfg.MeasureRecovery {
+		conv.RestoreAtNs = int64(restoreAt)
+	}
+	rep.Convergence = conv
+	rep.ARPLatency = obs.ARPLatencies(merged)
+	rep.RegistryChurn = obs.RegistryChurn(merged, 100*time.Millisecond)
+	// The timeline window covers the fault and everything after it —
+	// the interesting span; boot-time discovery noise stays out.
+	rep.Timeline = obs.Timeline(merged, failAt, f.Eng.Now())
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{out.cell}
+	return out, rep, nil
 }
 
 // RunFig9 reproduces Figure 9: permutation UDP probe flows, n random
@@ -148,10 +224,21 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 		return nil, err
 	}
 	res := &Fig9Result{Cfg: cfg}
+	id := "f9"
+	if cfg.Mode == FailSwitches {
+		id = "f9s"
+	}
+	res.Report = sweepReport(id, cfg.Rig.Seed, map[string]string{
+		"k":           itoa(cfg.Rig.K),
+		"max_faults":  itoa(cfg.MaxFaults),
+		"trials":      itoa(cfg.Trials),
+		"probe_every": cfg.ProbeEvery.String(),
+	}, nil)
 	for p, trials := range cells {
 		var failMs, recMs []float64
 		affected, dead, feasible := 0, 0, 0
 		for _, tr := range trials {
+			res.Report.Cells = append(res.Report.Cells, tr.cell)
 			if !tr.feasible {
 				continue
 			}

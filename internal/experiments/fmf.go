@@ -6,6 +6,7 @@ import (
 
 	"portland/internal/faults"
 	"portland/internal/metrics"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/topo"
 	"portland/internal/workload"
@@ -57,12 +58,16 @@ type FMFRow struct {
 
 	Dead      int   // flows that never re-converged
 	CtrlDrops int64 // control frames lost (loss rate + dead-manager discard)
+
+	cell obs.CellReport
 }
 
 // FMFResult is the full sweep.
 type FMFResult struct {
 	Cfg  FMFConfig
 	Rows []FMFRow
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
 }
 
 // RunFMF measures manager-failover behavior: for each cell, warm a
@@ -81,8 +86,15 @@ func RunFMF(cfg FMFConfig) (*FMFResult, error) {
 		return nil, err
 	}
 	res := &FMFResult{Cfg: cfg}
+	res.Report = sweepReport("fmf", cfg.Rig.Seed, map[string]string{
+		"k":           itoa(cfg.Rig.K),
+		"probe_every": cfg.ProbeEvery.String(),
+	}, nil)
 	for _, series := range cells {
 		res.Rows = append(res.Rows, series...)
+		for _, row := range series {
+			res.Report.Cells = append(res.Report.Cells, row.cell)
+		}
 	}
 	return res, nil
 }
@@ -159,6 +171,7 @@ func runFMFCell(cfg FMFConfig, loss float64, outage time.Duration, cell int) (FM
 	}
 	toMgr, fromMgr := f.ControlStats()
 	row.CtrlDrops = toMgr.Drops + fromMgr.Drops
+	row.cell = obsCell(f, cell, 0, rig.Seed)
 	return row, nil
 }
 

@@ -1,0 +1,61 @@
+// Report plumbing shared by the experiment drivers: every driver can
+// emit a versioned obs.Report next to its printed result. Reports are
+// built entirely after the simulation ran, from journals the fabric
+// filled as a side effect — building one can never perturb a run.
+package experiments
+
+import (
+	"strconv"
+
+	"portland/internal/core"
+	"portland/internal/obs"
+)
+
+// obsCell snapshots one sweep cell's observability state (journal
+// totals plus the unified counter block) for embedding in a report.
+func obsCell(f *core.Fabric, point, trial int, seed uint64) obs.CellReport {
+	return obs.CellReport{
+		Point:    point,
+		Trial:    trial,
+		Seed:     seed,
+		Events:   f.Obs.EventsCaptured(),
+		Dropped:  f.Obs.EventsDropped(),
+		Counters: f.ObsCounters(),
+	}
+}
+
+// newReport starts a report for one experiment run.
+func newReport(experiment string, seed uint64) *obs.Report {
+	return &obs.Report{
+		Schema:     obs.SchemaVersion,
+		Experiment: experiment,
+		Seed:       seed,
+		Params:     map[string]string{},
+	}
+}
+
+// sweepReport assembles the per-cell report a sweep driver attaches
+// to its result: identity, parameters and every cell's counter
+// snapshot in canonical sweep order. Cells without observability
+// capture (e.g. baseline-fabric halves) are elided.
+func sweepReport(experiment string, seed uint64, params map[string]string, cells []obs.CellReport) *obs.Report {
+	rep := newReport(experiment, seed)
+	for k, v := range params {
+		rep.Params[k] = v
+	}
+	for _, c := range cells {
+		if c.Counters == nil && c.Events == 0 {
+			continue
+		}
+		rep.Cells = append(rep.Cells, c)
+	}
+	return rep
+}
+
+// linkName renders a blueprint link as "a<->b" for report params.
+func linkName(f *core.Fabric, i int) string {
+	ls := f.Spec.Links[i]
+	return f.Spec.Nodes[ls.A.Node].Name + "<->" + f.Spec.Nodes[ls.B.Node].Name
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

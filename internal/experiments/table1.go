@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"portland/internal/baseline"
+	"portland/internal/obs"
 	"portland/internal/runner"
 	"portland/internal/sim"
 	"portland/internal/topo"
@@ -65,6 +66,14 @@ type Table1Row struct {
 type Table1Result struct {
 	Cfg  Table1Config
 	Rows []Table1Row
+	// Report is the run's observability report; Print never reads it.
+	Report *obs.Report
+}
+
+// t1Cell pairs one measured row with its observability snapshot.
+type t1Cell struct {
+	row  Table1Row
+	cell obs.CellReport
 }
 
 // RunTable1 measures forwarding-state footprints: every host talks to
@@ -73,13 +82,20 @@ type Table1Result struct {
 // local hosts + O(k) protocol state; the baseline learns every MAC
 // that crosses it.
 func RunTable1(cfg Table1Config) (*Table1Result, error) {
-	rows, err := runner.Map(len(cfg.Ks), func(i int) (Table1Row, error) {
-		return runTable1Cell(cfg, cfg.Ks[i])
+	cells, err := runner.Map(len(cfg.Ks), func(i int) (t1Cell, error) {
+		return runTable1Cell(cfg, i, cfg.Ks[i])
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &Table1Result{Cfg: cfg, Rows: rows}
+	res := &Table1Result{Cfg: cfg}
+	res.Report = sweepReport("t1", DefaultRig().Seed, map[string]string{
+		"peers_per_host": itoa(cfg.PeersPerHost),
+	}, nil)
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		res.Report.Cells = append(res.Report.Cells, c.cell)
+	}
 	// Analytic rows: PortLand edge ≈ k/2 local hosts + O(k) neighbor
 	// state; baseline worst case learns every host MAC.
 	for _, k := range cfg.AnalyticKs {
@@ -96,10 +112,10 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 // runTable1Cell measures one fat-tree degree: a PortLand fabric and a
 // baseline flat-L2 fabric, both with identical warm-up, on private
 // engines.
-func runTable1Cell(cfg Table1Config, k int) (Table1Row, error) {
+func runTable1Cell(cfg Table1Config, point, k int) (t1Cell, error) {
 	spec, err := topo.FatTree(k)
 	if err != nil {
-		return Table1Row{}, err
+		return t1Cell{}, err
 	}
 	row := Table1Row{K: k, Hosts: spec.Count().Hosts, Measured: true}
 
@@ -108,7 +124,7 @@ func runTable1Cell(cfg Table1Config, k int) (Table1Row, error) {
 	rig.K = k
 	f, err := rig.build()
 	if err != nil {
-		return row, err
+		return t1Cell{row: row}, err
 	}
 	workload.ARPStorm(f.HostList(), cfg.PeersPerHost)
 	f.RunFor(2 * time.Second)
@@ -129,12 +145,13 @@ func runTable1Cell(cfg Table1Config, k int) (Table1Row, error) {
 		}
 	}
 	row.PLMean = float64(plSum) / float64(len(f.Spec.Switches()))
+	cell := obsCell(f, point, 0, rig.Seed)
 
 	// Baseline fabric, identical warm-up.
 	bf := baseline.BuildFabric(spec, 1, sim.LinkConfig{}, baseline.Config{})
 	bf.Start()
 	if err := bf.AwaitTree(20 * time.Second); err != nil {
-		return row, err
+		return t1Cell{row: row, cell: cell}, err
 	}
 	workload.ARPStorm(bf.HostList(), cfg.PeersPerHost)
 	bf.RunFor(5 * time.Second)
@@ -147,7 +164,7 @@ func runTable1Cell(cfg Table1Config, k int) (Table1Row, error) {
 		}
 	}
 	row.BLMean = float64(blSum) / float64(len(bf.Spec.Switches()))
-	return row, nil
+	return t1Cell{row: row, cell: cell}, nil
 }
 
 // Print emits both halves of Table 1.

@@ -19,6 +19,7 @@ import (
 	"portland/internal/ctrlmsg"
 	"portland/internal/ctrlnet"
 	"portland/internal/ether"
+	"portland/internal/obs"
 )
 
 // Counters tracks manager load for the scalability experiments.
@@ -137,6 +138,11 @@ type Manager struct {
 
 	// Stats is the manager's counter block.
 	Stats Counters
+
+	// jou receives the manager's control-plane events (ARP service,
+	// registry churn, fault-matrix transitions, exclusion pushes,
+	// resync progress). Nil is a no-op sink.
+	jou *obs.Journal
 }
 
 // New returns an empty manager.
@@ -150,6 +156,14 @@ func New() *Manager {
 		groups: make(map[uint32]*group),
 		leases: make(map[ether.Addr]netip.Addr),
 	}
+}
+
+// SetJournal directs the manager's control-plane events into j. Safe
+// to leave unset, and safe to call before any session exists.
+func (m *Manager) SetJournal(j *obs.Journal) {
+	m.mu.Lock()
+	m.jou = j
+	m.mu.Unlock()
 }
 
 // Session binds one switch's control connection to the manager.
@@ -190,6 +204,7 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 	case ctrlmsg.PodRequest:
 		pod := m.nextPod
 		m.nextPod++
+		m.jou.Record(obs.MgrPodAssign, uint64(v.Switch), uint64(pod), 0, 0)
 		m.send(v.Switch, ctrlmsg.PodAssign{Pod: pod})
 	case ctrlmsg.PMACRegister:
 		m.register(v)
@@ -217,6 +232,12 @@ func (m *Manager) send(id ctrlmsg.SwitchID, msg ctrlmsg.Msg) {
 	}
 }
 
+// ip4u32 packs an IPv4 address into a journal event argument.
+func ip4u32(ip netip.Addr) uint64 {
+	b := ip.As4()
+	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}
+
 // register installs or updates an IP mapping; a changed PMAC for a
 // known IP is a VM migration (paper §3.4).
 func (m *Manager) register(v ctrlmsg.PMACRegister) {
@@ -227,9 +248,11 @@ func (m *Manager) register(v ctrlmsg.PMACRegister) {
 	}
 	m.ips[v.IP] = hostRecord{amac: v.AMAC, pmac: v.PMAC, edge: v.Switch}
 	if !existed {
+		m.jou.Record(obs.MgrRegister, uint64(v.Switch), ip4u32(v.IP), 0, 0)
 		return
 	}
 	m.Stats.Migrations++
+	m.jou.Record(obs.MgrMigrate, uint64(v.Switch), ip4u32(v.IP), uint64(prev.edge), 0)
 	// Tell the old edge switch so it can invalidate stale caches.
 	if prev.edge != v.Switch || prev.pmac != v.PMAC {
 		m.send(prev.edge, ctrlmsg.MigrationUpdate{IP: v.IP, OldPMAC: prev.pmac, NewPMAC: v.PMAC})
@@ -266,14 +289,17 @@ func (m *Manager) handleARP(v ctrlmsg.ARPQuery) {
 func (m *Manager) serveARP(v ctrlmsg.ARPQuery) {
 	if rec, ok := m.ips[v.TargetIP]; ok {
 		m.Stats.ARPHits++
+		m.jou.Record(obs.MgrARPHit, uint64(v.Switch), v.QueryID, ip4u32(v.TargetIP), 0)
 		m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: true, TargetIP: v.TargetIP, PMAC: rec.pmac})
 		return
 	}
 	if m.syncWaiting > 0 {
+		m.jou.Record(obs.MgrARPParked, uint64(v.Switch), v.QueryID, ip4u32(v.TargetIP), 0)
 		m.pendingARP = append(m.pendingARP, v)
 		return
 	}
 	m.Stats.ARPMisses++
+	m.jou.Record(obs.MgrARPMiss, uint64(v.Switch), v.QueryID, ip4u32(v.TargetIP), 0)
 	m.send(v.Switch, ctrlmsg.ARPAnswer{QueryID: v.QueryID, Found: false, TargetIP: v.TargetIP})
 	flood := ctrlmsg.ARPFlood{QueryID: v.QueryID, SenderPMAC: v.SenderPMAC, SenderIP: v.SenderIP, TargetIP: v.TargetIP}
 	// Flood in ID order: under CtrlLoss every send draws from the
@@ -309,8 +335,10 @@ func (m *Manager) handleFault(v ctrlmsg.FaultNotify) {
 	if wasUp != l.up() {
 		if l.up() {
 			m.downLinks--
+			m.jou.Record(obs.MgrLinkUp, uint64(l.lo), uint64(l.hi), 0, 0)
 		} else {
 			m.downLinks++
+			m.jou.Record(obs.MgrLinkDown, uint64(l.lo), uint64(l.hi), 0, 0)
 		}
 	}
 	m.locs[v.Switch] = v.LocalLoc
@@ -646,11 +674,13 @@ func (m *Manager) recomputeRoutes() {
 		for _, k := range sortedExclKeys(want) {
 			if !have[k] {
 				m.Stats.ExclusionsSet++
+				m.jou.Record(obs.MgrExclPush, uint64(id), uint64(k.via), uint64(k.pod), uint64(k.pos))
 				m.send(id, ctrlmsg.RouteExclude{Add: true, Via: k.via, DstPod: k.pod, DstPos: k.pos})
 			}
 		}
 		for _, k := range sortedExclKeys(have) {
 			if !want[k] {
+				m.jou.Record(obs.MgrExclClear, uint64(id), uint64(k.via), uint64(k.pod), uint64(k.pos))
 				m.send(id, ctrlmsg.RouteExclude{Add: false, Via: k.via, DstPod: k.pod, DstPos: k.pos})
 			}
 		}

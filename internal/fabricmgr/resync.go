@@ -13,6 +13,7 @@ import (
 	"portland/internal/ctrlmsg"
 	"portland/internal/ctrlnet"
 	"portland/internal/ether"
+	"portland/internal/obs"
 )
 
 // podSentinel: pod numbers at or above this are the LDP "unknown" and
@@ -70,6 +71,7 @@ func (m *Manager) BeginResync(epoch uint32, conns []ctrlnet.Conn) {
 	m.mu.Lock()
 	m.syncEpoch = epoch
 	m.syncWaiting = len(conns)
+	m.jou.Record(obs.MgrResyncBegin, uint64(epoch), uint64(len(conns)), 0, 0)
 	// Switches drop manager-owned state (exclusions, multicast
 	// entries) when they receive StateSyncRequest, so whatever this
 	// manager believes is installed out there no longer is. Reset the
@@ -105,6 +107,7 @@ func (m *Manager) handleSyncDone(v ctrlmsg.SyncDone) {
 	if m.syncWaiting > 0 {
 		return
 	}
+	m.jou.Record(obs.MgrResyncDone, uint64(v.Epoch), uint64(len(m.pendingARP)), 0, 0)
 	// The fabric has fully reported: re-serve ARP queries that missed
 	// mid-resync. Anything still missing now is a genuine miss and
 	// takes the flood path.

@@ -91,13 +91,16 @@ func (t *Table) Install(k Key, port int) {
 // InvalidateAll flushes every entry — the switch's reaction to any
 // event that could change routing (port liveness, route exclusions,
 // migrations). Coarse but safe; the next packet of each flow re-runs
-// the slow path.
-func (t *Table) InvalidateAll() {
-	if len(t.entries) == 0 {
-		return
+// the slow path. Returns the number of entries flushed (0 when the
+// table was already empty) so callers can journal meaningful flushes.
+func (t *Table) InvalidateAll() int {
+	n := len(t.entries)
+	if n == 0 {
+		return 0
 	}
 	t.entries = make(map[Key]*entry)
 	t.Stats.Invalidations++
+	return n
 }
 
 // Len returns the number of live (unexpired) entries, pruning dead

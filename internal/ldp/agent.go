@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"portland/internal/ctrlmsg"
+	"portland/internal/obs"
 	"portland/internal/pmac"
 	"portland/internal/sim"
 )
@@ -120,6 +121,10 @@ type Agent struct {
 	// LDMsSent counts transmissions, reported by control-overhead
 	// ablations.
 	LDMsSent int64
+
+	// jou receives the agent's state transitions (level/pod/position
+	// inference, neighbor liveness). A nil journal is a no-op sink.
+	jou *obs.Journal
 }
 
 // New builds an (unstarted) agent.
@@ -137,6 +142,10 @@ func New(eng *sim.Engine, env Env, cfg Config) *Agent {
 		claims:    make(map[uint8]ctrlmsg.SwitchID),
 	}
 }
+
+// SetJournal directs the agent's state-transition events into j
+// (normally the owning switch's journal). Safe to leave unset.
+func (a *Agent) SetJournal(j *obs.Journal) { a.jou = j }
 
 // Start begins announcing and arms the boot-silence classifier.
 func (a *Agent) Start() {
@@ -277,6 +286,7 @@ func (a *Agent) NoteDataFrame(port int) {
 	}
 	p.host = true
 	a.version++
+	a.jou.Record(obs.LDPHostPort, uint64(port), 0, 0, a.version)
 	a.maybeBecomeEdge()
 }
 
@@ -288,6 +298,7 @@ func (a *Agent) SetPod(pod uint16) {
 	}
 	a.pod = pod
 	a.version++
+	a.jou.Record(obs.LDPPod, uint64(pod), 0, 0, a.version)
 	a.announce()
 	a.maybeResolve()
 }
@@ -333,6 +344,7 @@ func (a *Agent) tick() {
 		if p.lastSeen < deadline {
 			p.neighbor.Alive = false
 			a.version++
+			a.jou.Record(obs.NeighborDown, uint64(i), uint64(p.neighbor.ID), 0, a.version)
 			a.env.PortStatus(i, p.neighbor, false)
 		}
 	}
@@ -363,9 +375,11 @@ func (a *Agent) HandleLDP(port int, pkt *Packet) {
 		a.version++
 	}
 	if revived {
+		a.jou.Record(obs.NeighborUp, uint64(port), uint64(p.neighbor.ID), 0, a.version)
 		a.env.PortStatus(port, p.neighbor, true)
 	}
 	if first || old.ID != p.neighbor.ID || old.Loc != p.neighbor.Loc {
+		a.jou.Record(obs.NeighborSeen, uint64(port), uint64(p.neighbor.ID), 0, a.version)
 		a.env.NeighborUpdate(port, p.neighbor)
 	}
 
@@ -460,6 +474,7 @@ func (a *Agent) classifyBySilence() {
 		if !p.seen {
 			p.host = true
 			a.version++
+			a.jou.Record(obs.LDPHostPort, uint64(i), 0, 0, a.version)
 		}
 	}
 	a.maybeBecomeEdge()
@@ -487,6 +502,7 @@ func (a *Agent) setLevel(l uint8) {
 	}
 	a.level = l
 	a.version++
+	a.jou.Record(obs.LDPLevel, uint64(l), 0, 0, a.version)
 	if l == ctrlmsg.LevelCore {
 		a.pod = pmac.CorePod
 	}
@@ -516,6 +532,7 @@ func (a *Agent) maybeResolve() {
 		return
 	}
 	a.resolvedSent = true
+	a.jou.Record(obs.LDPResolved, uint64(a.level), uint64(a.pod), uint64(a.pos), a.version)
 	a.env.LocationResolved(a.Loc())
 }
 
@@ -620,6 +637,7 @@ func (a *Agent) handleGrant(pkt *Packet) {
 	}
 	a.pos = a.posCandidate
 	a.posPending = false
+	a.jou.Record(obs.LDPPos, uint64(a.pos), 0, 0, a.version)
 	a.announce()
 	if a.pos == 0 && !a.podRequested {
 		a.podRequested = true

@@ -111,7 +111,7 @@ func (s *Switch) puntARP(port int, hostMAC ether.Addr, p *arppkt.Packet) {
 	s.Stats.ARPPunts++
 	s.nextQueryID++
 	id := s.nextQueryID
-	s.pending[id] = pendingARP{hostPort: port, hostMAC: hostMAC, hostIP: p.SenderIP, targetIP: p.TargetIP}
+	s.pending[id] = pendingARP{hostPort: port, hostMAC: hostMAC, hostIP: p.SenderIP, targetIP: p.TargetIP, at: s.eng.Now()}
 	// Bound the parked-request table: answers normally arrive in
 	// microseconds; anything older than a host ARP retry is dead.
 	s.eng.Schedule(pendingARPTTL, func() { delete(s.pending, id) })

@@ -20,6 +20,7 @@ import (
 	"portland/internal/ether"
 	"portland/internal/flowtable"
 	"portland/internal/ldp"
+	"portland/internal/obs"
 	"portland/internal/pmac"
 	"portland/internal/sim"
 )
@@ -46,6 +47,7 @@ type pendingARP struct {
 	hostMAC  ether.Addr
 	hostIP   netip.Addr
 	targetIP netip.Addr
+	at       time.Duration // punt time, for ARP-resolution latency
 }
 
 type pendingDHCPReq struct {
@@ -108,6 +110,11 @@ type Switch struct {
 
 	failed bool
 
+	// jou receives the switch's control-plane events (exclusion
+	// churn, flow flushes, ARP resolutions, fail/recover/resync).
+	// Nil is a no-op sink; the steady-state data path never records.
+	jou *obs.Journal
+
 	// Tap, if non-nil, observes every frame the switch receives
 	// (egress=false) and transmits (egress=true). Used by the trace
 	// tooling and the path tracer; nil costs nothing.
@@ -157,6 +164,21 @@ func (s *Switch) Attach(port int, l *sim.Link) { s.links[port] = l }
 // called before Start.
 func (s *Switch) SetControl(c ctrlnet.Conn) { s.ctrl = c }
 
+// SetJournal directs the switch's (and its LDP agent's) control-plane
+// events into j. Safe to leave unset.
+func (s *Switch) SetJournal(j *obs.Journal) {
+	s.jou = j
+	s.agent.SetJournal(j)
+}
+
+// flushFlows invalidates the flow table, journaling the flush when it
+// actually discarded entries.
+func (s *Switch) flushFlows() {
+	if n := s.flows.InvalidateAll(); n > 0 {
+		s.jou.Record(obs.FlowFlush, uint64(n), 0, 0, 0)
+	}
+}
+
 // Start implements sim.Node: announce to the fabric manager and begin
 // location discovery.
 func (s *Switch) Start() {
@@ -170,6 +192,7 @@ func (s *Switch) Start() {
 func (s *Switch) Fail() {
 	s.failed = true
 	s.agent.Stop()
+	s.jou.Record(obs.SwitchFailed, 0, 0, 0, 0)
 }
 
 // Failed reports whether Fail was called.
@@ -201,6 +224,8 @@ func (s *Switch) Recover() {
 	s.cands = make(map[candKey]*candSet)
 	s.exclEpoch++
 	s.agent = ldp.New(s.eng, (*agentEnv)(s), s.ldpCfg)
+	s.agent.SetJournal(s.jou)
+	s.jou.Record(obs.SwitchRecovered, 0, 0, 0, 0)
 	s.Start()
 }
 
@@ -345,7 +370,7 @@ func (e *agentEnv) PortStatus(port int, peer ldp.Neighbor, up bool) {
 	}
 	// Liveness changed: cached flow entries may point at a dead (or
 	// newly usable) port.
-	s.flows.InvalidateAll()
+	s.flushFlows()
 	s.reportPort(port, peer, up)
 }
 
@@ -385,13 +410,16 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 		s.handleARPFlood(v)
 	case ctrlmsg.RouteExclude:
 		k := exclKey{via: v.Via, pod: v.DstPod, pos: v.DstPos}
+		kind := obs.ExclInstall
 		if v.Add {
 			s.excl[k] = true
 		} else {
 			delete(s.excl, k)
+			kind = obs.ExclRemove
 		}
-		s.exclEpoch++          // cached candidate sets are stale
-		s.flows.InvalidateAll() // routing changed; re-run slow paths
+		s.exclEpoch++ // cached candidate sets are stale
+		s.jou.Record(kind, uint64(v.Via), uint64(v.DstPod), uint64(v.DstPos), s.exclEpoch)
+		s.flushFlows() // routing changed; re-run slow paths
 	case ctrlmsg.McastInstall:
 		if len(v.OutPorts) == 0 {
 			delete(s.mcast, v.Group)
@@ -419,6 +447,9 @@ func (s *Switch) handleARPAnswer(v ctrlmsg.ARPAnswer) {
 		return
 	}
 	delete(s.pending, v.QueryID)
+	if v.Found {
+		s.jou.Record(obs.ARPResolved, uint64(s.eng.Now()-p.at), v.QueryID, 0, 0)
+	}
 	if !v.Found {
 		// The fabric manager has launched the broadcast fallback;
 		// the eventual ARP reply arrives through the dataplane.
@@ -450,7 +481,7 @@ func (s *Switch) handleARPFlood(v ctrlmsg.ARPFlood) {
 }
 
 func (s *Switch) handleMigrationUpdate(v ctrlmsg.MigrationUpdate) {
-	s.flows.InvalidateAll()
+	s.flushFlows()
 	s.migrated[v.OldPMAC] = migrationEntry{ip: v.IP, newPMAC: v.NewPMAC}
 	// Drop the stale local mapping so the old PMAC is no longer
 	// deliverable here.

@@ -7,6 +7,7 @@ import (
 
 	"portland/internal/ctrlmsg"
 	"portland/internal/ether"
+	"portland/internal/obs"
 )
 
 // joinKey identifies one host's membership in one multicast group.
@@ -30,9 +31,10 @@ type joinKey struct {
 // the dataplane's liveness checks (LDP) still guard dead ports
 // locally.
 func (s *Switch) resync(epoch uint32) {
+	s.jou.Record(obs.SwitchResync, uint64(epoch), 0, 0, 0)
 	s.excl = make(map[exclKey]bool)
 	s.mcast = make(map[uint32][]int)
-	s.flows.InvalidateAll()
+	s.flushFlows()
 
 	s.sendCtrl(ctrlmsg.Hello{Switch: s.id})
 	if s.resolved {

@@ -19,6 +19,14 @@
 // Parallelism therefore changes wall-clock time and nothing else; the
 // golden tests in internal/experiments compare serial and parallel
 // printed output byte-for-byte to enforce it.
+//
+// Observability rides the same contract: each cell's private engine
+// owns a private obs.Registry, journal record sites are passive
+// (no RNG draws, no map iteration, no sends), and cells snapshot
+// their journals/counters into obs.CellReport values that the sweep
+// drivers merge in canonical cell order — so an experiment's JSON run
+// report, like its printed table, is byte-identical between serial
+// and parallel runs.
 package runner
 
 import (
