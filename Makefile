@@ -8,9 +8,9 @@ BENCH_OUT ?= BENCH_$(DATE).json
 # The steady-state data-path benchmarks that must report 0 allocs/op.
 ZERO_ALLOC_BENCHES := LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$
 
-.PHONY: check build vet test race fuzz bench bench-alloc bench-json bench-diff profile docs-lint report-golden
+.PHONY: check build vet test race fuzz bench bench-alloc bench-gate bench-json bench-diff profile docs-lint report-golden
 
-check: vet build docs-lint test race fuzz bench bench-alloc
+check: vet build docs-lint test race fuzz bench bench-alloc bench-gate
 
 # Documentation gate: every exported identifier in the observability
 # surface (obs, metrics, trace) must carry a doc comment.
@@ -55,6 +55,22 @@ bench-alloc:
 	$(GO) run ./cmd/benchjson -assert-zero-allocs '$(ZERO_ALLOC_BENCHES)' < bench-alloc.out
 	rm -f bench-alloc.out
 
+# Regression gate: re-run the stable scheduler + data-path benchmarks
+# and fail if any is more than GATE_TOLERANCE slower than the committed
+# baseline, or allocates more at all. The benchmark set is the hot
+# paths whose cost is dominated by this repo's own code (boot-the-world
+# benchmarks like K48Discovery are measured in bench-json baselines but
+# excluded here: minutes of wall time buys no extra signal). Part of
+# `make check`.
+GATE_BASELINE ?= BENCH_2026-08-05-wheel.json
+GATE_TOLERANCE ?= 0.30
+GATE_BENCHES := EngineSchedule$$|EngineScheduleRun$$|EngineTimerChurn$$|LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$|K16SteadyState$$
+bench-gate:
+	$(GO) test -bench '$(GATE_BENCHES)' -benchmem -run '^$$' \
+		./internal/sim ./internal/pswitch ./internal/core > bench-gate.out
+	$(GO) run ./cmd/benchjson -gate $(GATE_BASELINE) -gate-tolerance $(GATE_TOLERANCE) < bench-gate.out
+	rm -f bench-gate.out
+
 # Full benchmark sweep serialized into a dated JSON baseline.
 bench-json:
 	$(GO) test -bench . -benchmem -run '^$$' ./... > bench.out
@@ -62,9 +78,9 @@ bench-json:
 	rm -f bench.out
 
 # Compare two checked-in baselines:
-#   make bench-diff OLD=BENCH_2026-08-05.json NEW=BENCH_2026-08-05-fastpath.json
-OLD ?= BENCH_2026-08-05.json
-NEW ?= BENCH_2026-08-05-fastpath.json
+#   make bench-diff OLD=BENCH_2026-08-05-fastpath.json NEW=BENCH_2026-08-05-wheel.json
+OLD ?= BENCH_2026-08-05-fastpath.json
+NEW ?= BENCH_2026-08-05-wheel.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
 

@@ -23,7 +23,16 @@
 //
 // exits nonzero when any benchmark whose name matches the regexp
 // reports allocs/op > 0 — the data-path allocation gate `make
-// bench-alloc` runs in CI.
+// bench-alloc` runs in CI. Finally,
+//
+//	go test -bench ... -benchmem | benchjson -gate baseline.json
+//
+// compares fresh benchmark output against a committed baseline and
+// exits nonzero when any shared benchmark regressed: ns/op beyond the
+// -gate-tolerance band (wall time is noisy, so the band is generous),
+// or allocs/op above the baseline at all (allocation counts are
+// deterministic, so any increase is a real regression). `make
+// bench-gate` wires this into `make check`.
 package main
 
 import (
@@ -57,6 +66,10 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two baselines: benchjson -diff old.json new.json")
 	assertZero := flag.String("assert-zero-allocs", "",
 		"regexp of benchmark names that must report 0 allocs/op; exit 1 on violation")
+	gate := flag.String("gate", "",
+		"baseline JSON to gate stdin's bench output against; exit 1 on regression")
+	gateTol := flag.Float64("gate-tolerance", 0.30,
+		"fractional ns/op increase tolerated by -gate before failing")
 	flag.Parse()
 
 	if *diff {
@@ -97,6 +110,28 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *gate != "" {
+		base, err := loadReport(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		compared, bad := gateViolations(base.Benchmarks, rep.Benchmarks, *gateTol)
+		if compared == 0 {
+			fmt.Fprintf(os.Stderr, "gate: no benchmark in common with %s (gate misconfigured?)\n", *gate)
+			os.Exit(1)
+		}
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "gate: "+v)
+		}
+		if len(bad) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("gate: %d benchmarks within %.0f%% of %s, no alloc regressions\n",
+			compared, *gateTol*100, *gate)
+		return
 	}
 
 	if *assertZero != "" {
@@ -172,6 +207,37 @@ func zeroAllocViolations(benches []benchmark, re *regexp.Regexp) (matched int, b
 		}
 	}
 	return matched, bad
+}
+
+// gateViolations compares fresh results against a baseline by
+// normalized name. A benchmark regresses when its ns/op exceeds the
+// baseline by more than tol (fractional), or when its allocs/op
+// exceeds the baseline at all. Benchmarks present on only one side are
+// ignored — adding or retiring a benchmark must not trip the gate —
+// but compared reports how many lined up so a baseline that matches
+// nothing fails loudly instead of vacuously passing.
+func gateViolations(base, fresh []benchmark, tol float64) (compared int, bad []string) {
+	baseBy := make(map[string]benchmark, len(base))
+	for _, b := range base {
+		baseBy[normName(b.Name)] = b
+	}
+	for _, nb := range fresh {
+		ob, ok := baseBy[normName(nb.Name)]
+		if !ok {
+			continue
+		}
+		compared++
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNs > 0 && newNs > oldNs*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s ns/op %.1f exceeds baseline %.1f by %+.1f%% (tolerance %.0f%%)",
+				normName(nb.Name), newNs, oldNs, (newNs-oldNs)/oldNs*100, tol*100))
+		}
+		if oldA, newA := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]; newA > oldA {
+			bad = append(bad, fmt.Sprintf("%s allocs/op rose %g -> %g (no tolerance for alloc regressions)",
+				normName(nb.Name), oldA, newA))
+		}
+	}
+	return compared, bad
 }
 
 // diffLines renders a per-benchmark ns/op and allocs/op comparison.

@@ -94,3 +94,32 @@ func TestDiffLines(t *testing.T) {
 		t.Errorf("Gone row not marked removed: %q", lines[3])
 	}
 }
+
+func TestGateViolations(t *testing.T) {
+	base := []benchmark{
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		{Name: "BenchmarkB-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 2}},
+		{Name: "BenchmarkGone-8", Metrics: map[string]float64{"ns/op": 5, "allocs/op": 0}},
+	}
+	fresh := []benchmark{
+		{Name: "BenchmarkA-16", Metrics: map[string]float64{"ns/op": 125, "allocs/op": 0}},
+		{Name: "BenchmarkB-16", Metrics: map[string]float64{"ns/op": 80, "allocs/op": 3}},
+		{Name: "BenchmarkNew-16", Metrics: map[string]float64{"ns/op": 9999, "allocs/op": 50}},
+	}
+	// 25% slower A sits inside a 30% band; B's alloc rise always fails.
+	compared, bad := gateViolations(base, fresh, 0.30)
+	if compared != 2 {
+		t.Fatalf("compared %d, want 2 (added/removed benchmarks are ignored)", compared)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkB allocs/op rose 2 -> 3") {
+		t.Fatalf("violations %v, want only B's alloc regression", bad)
+	}
+	// A tighter band turns A's slowdown into a failure too.
+	if _, bad := gateViolations(base, fresh, 0.10); len(bad) != 2 {
+		t.Fatalf("violations %v, want A's ns/op and B's allocs", bad)
+	}
+	// An improvement never trips the gate.
+	if _, bad := gateViolations(base, base, 0); len(bad) != 0 {
+		t.Fatalf("identical runs reported %v", bad)
+	}
+}

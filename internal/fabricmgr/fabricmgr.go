@@ -83,6 +83,14 @@ type exclKey struct {
 	pos uint8
 }
 
+// exclDelta is one coalesced RouteExclude to flush: recomputeRoutes
+// assembles the whole trigger's worth before sending any of them.
+type exclDelta struct {
+	target ctrlmsg.SwitchID
+	key    exclKey
+	add    bool
+}
+
 type member struct {
 	edge ctrlmsg.SwitchID
 	src  bool
@@ -101,6 +109,24 @@ type Manager struct {
 
 	conns map[ctrlmsg.SwitchID]ctrlnet.Conn
 	locs  map[ctrlmsg.SwitchID]ctrlmsg.Loc
+
+	// Cached ID-sorted views of locs, rebuilt lazily when noteLoc
+	// dirties them. Every ARP-miss flood and every exclusion recompute
+	// iterates switches in ID order (the send order is observable
+	// under CtrlLoss, so it must be deterministic); at k=48 the
+	// per-trigger sort of 2,880 IDs dominated the manager's cost.
+	idsSorted  []ctrlmsg.SwitchID
+	edgeIDs    []ctrlmsg.SwitchID
+	idsDirty   bool
+	edgesDirty bool
+
+	// Reusable batch-assembly buffers for recomputeRoutes: the
+	// exclusion deltas of one trigger are coalesced here and flushed
+	// in a single sorted pass, so repeated fault churn allocates
+	// nothing once the buffers reach their high-water mark.
+	deltaBuf  []exclDelta
+	keyBuf    []exclKey
+	targetBuf []ctrlmsg.SwitchID
 
 	ips map[netip.Addr]hostRecord
 
@@ -198,7 +224,7 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 	}
 	switch v := msg.(type) {
 	case ctrlmsg.LocationReport:
-		m.locs[v.Switch] = v.Loc
+		m.noteLoc(v.Switch, v.Loc)
 		m.notePod(v.Loc.Pod)
 		m.recomputeRoutes()
 	case ctrlmsg.PodRequest:
@@ -304,11 +330,10 @@ func (m *Manager) serveARP(v ctrlmsg.ARPQuery) {
 	flood := ctrlmsg.ARPFlood{QueryID: v.QueryID, SenderPMAC: v.SenderPMAC, SenderIP: v.SenderIP, TargetIP: v.TargetIP}
 	// Flood in ID order: under CtrlLoss every send draws from the
 	// engine RNG, so map-order iteration here would make the whole
-	// run's random stream depend on Go map layout.
-	for _, id := range m.sortedSwitchIDs() {
-		if m.locs[id].Level == ctrlmsg.LevelEdge {
-			m.send(id, flood)
-		}
+	// run's random stream depend on Go map layout. The target list is
+	// the cached edge set — one batch, no per-miss sort or filter.
+	for _, id := range m.edgeSwitchIDs() {
+		m.send(id, flood)
 	}
 }
 
@@ -341,10 +366,10 @@ func (m *Manager) handleFault(v ctrlmsg.FaultNotify) {
 			m.jou.Record(obs.MgrLinkDown, uint64(l.lo), uint64(l.hi), 0, 0)
 		}
 	}
-	m.locs[v.Switch] = v.LocalLoc
+	m.noteLoc(v.Switch, v.LocalLoc)
 	m.notePod(v.LocalLoc.Pod)
 	if _, known := m.locs[v.PeerID]; !known || v.PeerLoc.Level != ctrlmsg.LevelUnknown {
-		m.locs[v.PeerID] = v.PeerLoc
+		m.noteLoc(v.PeerID, v.PeerLoc)
 		m.notePod(v.PeerLoc.Pod)
 	}
 	if v.Down {
@@ -416,15 +441,52 @@ func (m *Manager) Locations() map[ctrlmsg.SwitchID]ctrlmsg.Loc {
 	return out
 }
 
-// sortedSwitchIDs returns the known switches in ID order for
-// deterministic iteration.
-func (m *Manager) sortedSwitchIDs() []ctrlmsg.SwitchID {
-	ids := make([]ctrlmsg.SwitchID, 0, len(m.locs))
-	for id := range m.locs {
-		ids = append(ids, id)
+// noteLoc is the single write path into the location table; it keeps
+// the sorted-ID caches coherent. A brand-new switch dirties both
+// lists; a level transition (switch replaced/recovered into another
+// role) dirties the edge list.
+func (m *Manager) noteLoc(id ctrlmsg.SwitchID, loc ctrlmsg.Loc) {
+	old, known := m.locs[id]
+	if known && old == loc {
+		return
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	if !known {
+		m.idsDirty = true
+		m.edgesDirty = true
+	} else if old.Level != loc.Level {
+		m.edgesDirty = true
+	}
+	m.locs[id] = loc
+}
+
+// sortedSwitchIDs returns the known switches in ID order for
+// deterministic iteration. The returned slice is a shared cache;
+// callers must not mutate or retain it across manager calls.
+func (m *Manager) sortedSwitchIDs() []ctrlmsg.SwitchID {
+	if m.idsDirty {
+		m.idsSorted = m.idsSorted[:0]
+		for id := range m.locs {
+			m.idsSorted = append(m.idsSorted, id)
+		}
+		sort.Slice(m.idsSorted, func(i, j int) bool { return m.idsSorted[i] < m.idsSorted[j] })
+		m.idsDirty = false
+	}
+	return m.idsSorted
+}
+
+// edgeSwitchIDs returns the ID-sorted edge switches (the ARP-flood
+// fan-out set), with the same sharing caveat as sortedSwitchIDs.
+func (m *Manager) edgeSwitchIDs() []ctrlmsg.SwitchID {
+	if m.edgesDirty {
+		m.edgeIDs = m.edgeIDs[:0]
+		for _, id := range m.sortedSwitchIDs() {
+			if m.locs[id].Level == ctrlmsg.LevelEdge {
+				m.edgeIDs = append(m.edgeIDs, id)
+			}
+		}
+		m.edgesDirty = false
+	}
+	return m.edgeIDs
 }
 
 // linksOf returns the graph edges incident to id, sorted by peer.
@@ -653,7 +715,12 @@ func (m *Manager) recomputeRoutes() {
 		}
 	}
 
-	// Diff against installed state and push deltas.
+	// Diff against installed state and coalesce the whole trigger's
+	// deltas into one (target, key)-sorted batch, then flush it in a
+	// single pass. The order — targets ascending, adds in key order,
+	// then removes in key order — is observable under CtrlLoss (each
+	// send draws from the RNG), so assembly preserves it exactly; the
+	// batch and key-sort buffers are reused across triggers.
 	targets := make(map[ctrlmsg.SwitchID]bool)
 	for id := range desired {
 		targets[id] = true
@@ -661,36 +728,46 @@ func (m *Manager) recomputeRoutes() {
 	for id := range m.excl {
 		targets[id] = true
 	}
-	tids := make([]ctrlmsg.SwitchID, 0, len(targets))
+	tids := m.targetBuf[:0]
 	for id := range targets {
 		tids = append(tids, id)
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	deltas := m.deltaBuf[:0]
 	for _, id := range tids {
 		want := desired[id]
 		have := m.excl[id]
-		// Push deltas in key order, not map order — the send order is
-		// observable under CtrlLoss (each send draws from the RNG).
-		for _, k := range sortedExclKeys(want) {
+		for _, k := range m.sortedExclKeys(want) {
 			if !have[k] {
-				m.Stats.ExclusionsSet++
-				m.jou.Record(obs.MgrExclPush, uint64(id), uint64(k.via), uint64(k.pod), uint64(k.pos))
-				m.send(id, ctrlmsg.RouteExclude{Add: true, Via: k.via, DstPod: k.pod, DstPos: k.pos})
+				deltas = append(deltas, exclDelta{target: id, key: k, add: true})
 			}
 		}
-		for _, k := range sortedExclKeys(have) {
+		for _, k := range m.sortedExclKeys(have) {
 			if !want[k] {
-				m.jou.Record(obs.MgrExclClear, uint64(id), uint64(k.via), uint64(k.pod), uint64(k.pos))
-				m.send(id, ctrlmsg.RouteExclude{Add: false, Via: k.via, DstPod: k.pod, DstPos: k.pos})
+				deltas = append(deltas, exclDelta{target: id, key: k, add: false})
 			}
 		}
 	}
+	for _, d := range deltas {
+		k := d.key
+		if d.add {
+			m.Stats.ExclusionsSet++
+			m.jou.Record(obs.MgrExclPush, uint64(d.target), uint64(k.via), uint64(k.pod), uint64(k.pos))
+		} else {
+			m.jou.Record(obs.MgrExclClear, uint64(d.target), uint64(k.via), uint64(k.pod), uint64(k.pos))
+		}
+		m.send(d.target, ctrlmsg.RouteExclude{Add: d.add, Via: k.via, DstPod: k.pod, DstPos: k.pos})
+	}
+	m.targetBuf = tids[:0]
+	m.deltaBuf = deltas[:0]
 	m.excl = desired
 }
 
-// sortedExclKeys returns a set's keys ordered by (via, pod, pos).
-func sortedExclKeys(set map[exclKey]bool) []exclKey {
-	ks := make([]exclKey, 0, len(set))
+// sortedExclKeys returns a set's keys ordered by (via, pod, pos) in
+// the manager's reusable scratch buffer; the result is valid only
+// until the next call.
+func (m *Manager) sortedExclKeys(set map[exclKey]bool) []exclKey {
+	ks := m.keyBuf[:0]
 	for k := range set {
 		ks = append(ks, k)
 	}
@@ -703,5 +780,6 @@ func sortedExclKeys(set map[exclKey]bool) []exclKey {
 		}
 		return ks[i].pos < ks[j].pos
 	})
+	m.keyBuf = ks
 	return ks
 }

@@ -118,6 +118,14 @@ type Agent struct {
 	// on it (epoch invalidation instead of rebuilding per packet).
 	version uint64
 
+	// ldm is the cached periodic announcement. The same location is
+	// broadcast on every port of every tick, so the packet is built
+	// once per *state change* rather than once per tick (k=48: one
+	// allocation instead of ~138k/interval). It is never mutated in
+	// place — a state change swaps in a fresh packet — so in-flight
+	// frames still referencing the old one keep a correct snapshot.
+	ldm *Packet
+
 	// LDMsSent counts transmissions, reported by control-overhead
 	// ablations.
 	LDMsSent int64
@@ -309,7 +317,7 @@ func (a *Agent) SetPod(pod uint16) {
 // edge switch is briefly unroutable-to: its aggregation neighbors
 // would hold a stale position for up to one LDM interval.
 func (a *Agent) announce() {
-	ldm := &Packet{Kind: KindLDM, Switch: a.env.ID(), Level: a.level, Pod: a.pod, Pos: a.pos}
+	ldm := a.ldmPacket()
 	for i := range a.ports {
 		if a.ports[i].host {
 			continue
@@ -322,7 +330,7 @@ func (a *Agent) announce() {
 // tick sends the periodic LDM on every relevant port and sweeps for
 // missed-LDM timeouts.
 func (a *Agent) tick() {
-	ldm := &Packet{Kind: KindLDM, Switch: a.env.ID(), Level: a.level, Pod: a.pod, Pos: a.pos}
+	ldm := a.ldmPacket()
 	for i := range a.ports {
 		p := &a.ports[i]
 		// Once resolved, edge switches stop announcing on host
@@ -353,6 +361,17 @@ func (a *Agent) tick() {
 	if a.level == ctrlmsg.LevelEdge && a.pos == PosUnknown && !a.retryArmed {
 		a.proposePosition()
 	}
+}
+
+// ldmPacket returns the announcement for the agent's current location,
+// rebuilding the cached packet only when level/pod/pos changed since
+// the last transmission.
+func (a *Agent) ldmPacket() *Packet {
+	if p := a.ldm; p != nil && p.Level == a.level && p.Pod == a.pod && p.Pos == a.pos {
+		return p
+	}
+	a.ldm = &Packet{Kind: KindLDM, Switch: a.env.ID(), Level: a.level, Pod: a.pod, Pos: a.pos}
+	return a.ldm
 }
 
 // HandleLDP processes an inbound LDP packet.

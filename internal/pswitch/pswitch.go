@@ -96,6 +96,10 @@ type Switch struct {
 	// pool is the engine's frame free-list; the data path clones and
 	// releases through it (see ether.FramePool for ownership rules).
 	pool *ether.FramePool
+	// ldpSrc is the switch's fixed LDP source address, precomputed so
+	// the per-tick LDM fan-out fills pooled frames instead of
+	// allocating one composite literal per port per interval.
+	ldpSrc ether.Addr
 	// cands caches candidate out-port sets per destination class,
 	// validated against (agent.Version, exclEpoch); see candidates().
 	cands map[candKey]*candSet
@@ -141,6 +145,7 @@ func New(eng *sim.Engine, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.C
 		leases:      make(map[ether.Addr]netip.Addr),
 		joins:       make(map[joinKey]bool),
 		pool:        eng.FramePool(),
+		ldpSrc:      pmac.PMAC{Pod: 0, Position: 0, Port: 0, VMID: uint16(id)}.Addr(),
 		cands:       make(map[candKey]*candSet),
 	}
 	s.flows = flowtable.New(eng.Now, 0)
@@ -324,18 +329,18 @@ func (e *agentEnv) ID() ctrlmsg.SwitchID { return e.id }
 // NumPorts implements ldp.Env.
 func (e *agentEnv) NumPorts() int { return len(e.links) }
 
-// SendLDP implements ldp.Env.
+// SendLDP implements ldp.Env. The frame comes from the engine pool:
+// the agent reuses one packet for a whole announcement fan-out, so the
+// per-port cost is filling a recycled header — the receiving switch or
+// host consumes the frame back into the pool as usual.
 func (e *agentEnv) SendLDP(port int, p *ldp.Packet) {
 	s := (*Switch)(e)
 	if s.failed {
 		return
 	}
-	s.send(port, &ether.Frame{
-		Dst:     ether.Broadcast,
-		Src:     pmac.PMAC{Pod: 0, Position: 0, Port: 0, VMID: uint16(s.id)}.Addr(),
-		Type:    ether.TypeLDP,
-		Payload: p,
-	})
+	f := s.pool.Get()
+	f.Dst, f.Src, f.Type, f.Payload = ether.Broadcast, s.ldpSrc, ether.TypeLDP, p
+	s.send(port, f)
 }
 
 // LocationResolved implements ldp.Env.

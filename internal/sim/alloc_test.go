@@ -75,22 +75,34 @@ func TestLinkSendAllocFree(t *testing.T) {
 }
 
 // Popped slots must not keep the executed callback reachable through
-// the heap's spare capacity — a closure can pin an entire fabric.
+// any stage's spare capacity — a closure can pin an entire fabric.
+// The scheduler has three event stores (due heap, wheel-node arena,
+// overflow list); all of them must zero vacated slots.
 func TestPopReleasesCallback(t *testing.T) {
 	e := New(1)
 	big := make([]byte, 1<<20)
+	// Cover every stage: same-tick (due), near (level 0), far (coarse
+	// levels) and beyond-horizon (overflow).
 	e.Schedule(0, func() { _ = big[0] })
 	e.Schedule(time.Millisecond, func() { _ = big[1] })
-	if got := e.Run(); got != 2 {
+	e.Schedule(time.Hour, func() { _ = big[2] })
+	e.Schedule(30*24*time.Hour, func() { _ = big[3] })
+	if got := e.Run(); got != 4 {
 		t.Fatalf("ran %d events", got)
 	}
-	spare := e.events[:cap(e.events)]
-	for i, ev := range spare {
-		if ev.fn != nil {
-			t.Fatalf("heap slot %d still references its callback after pop", i)
+	for i, ev := range e.due[:cap(e.due)] {
+		if ev.fn != nil || ev.dir != nil {
+			t.Fatalf("due-heap slot %d still references its event after pop", i)
 		}
-		if ev.dir != nil {
-			t.Fatalf("heap slot %d still references its link direction after pop", i)
+	}
+	for i := range e.nodes {
+		if n := &e.nodes[i]; n.ev.fn != nil || n.ev.dir != nil {
+			t.Fatalf("wheel arena node %d still references its event after drain", i)
+		}
+	}
+	for i, ev := range e.overflow[:cap(e.overflow)] {
+		if ev.fn != nil || ev.dir != nil {
+			t.Fatalf("overflow slot %d still references its event after re-file", i)
 		}
 	}
 }

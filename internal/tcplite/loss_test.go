@@ -107,10 +107,28 @@ func TestRandomLossEventuallyDeliversAll(t *testing.T) {
 		a.conn = Dial(a, b.ip, 1234, 80, Config{})
 		const total = 256 << 10
 		a.conn.Queue(total)
-		// Generous deadline: near the 19% ceiling an unlucky seed can
-		// spend most of the transfer in exponential RTO backoff (70+
-		// timeouts observed), and virtual seconds cost microseconds.
-		eng.RunUntil(900 * time.Second)
+		// Run in virtual-time chunks until the transfer completes,
+		// failing only if a chunk makes no progress at all. A chunk of
+		// 2×MaxRTO guarantees at least one retransmission opportunity
+		// even at the deepest backoff, so the property has no tuned
+		// wall-of-virtual-time deadline to flake against: any seed that
+		// can recover does, and a genuinely stuck connection (no new
+		// bytes and no timer fire across a full backoff interval) fails
+		// deterministically.
+		chunk := 2 * a.conn.cfg.MaxRTO
+		for b.conn.Delivered() < total {
+			before := b.conn.Delivered()
+			timeouts := a.conn.Stats.Timeouts
+			retrans := a.conn.Stats.FastRetrans
+			eng.RunUntil(eng.Now() + chunk)
+			if b.conn.Delivered() == before &&
+				a.conn.Stats.Timeouts == timeouts &&
+				a.conn.Stats.FastRetrans == retrans {
+				t.Logf("seed %d loss %.0f%%: stalled at %d/%d bytes after %v",
+					seed, loss*100, before, total, eng.Now())
+				return false
+			}
+		}
 		return b.conn.Delivered() == total
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
