@@ -18,11 +18,14 @@ docs-lint:
 	$(GO) run ./cmd/docslint ./internal/obs ./internal/metrics ./internal/trace
 
 # Report-schema gate alone (also runs as part of `make test`): the
-# checked-in Fig. 9 report must round-trip byte-identically and a fresh
-# replay must reproduce it. Regenerate with:
+# checked-in Fig. 9 and scenario-replay reports must round-trip
+# byte-identically and a fresh replay must reproduce each — the
+# scenario golden is the determinism gate for the `-exp sc` fault
+# engine (same seed, byte-identical report, serial or parallel).
+# Regenerate with:
 #   go test ./internal/experiments -run Golden -update
 report-golden:
-	$(GO) test ./internal/experiments -run 'Fig9ReportGolden'
+	$(GO) test ./internal/experiments -run 'Fig9ReportGolden|SCReportGolden'
 
 build:
 	$(GO) build ./...

@@ -17,6 +17,7 @@ import (
 	"portland/internal/ctrlnet"
 	"portland/internal/ether"
 	"portland/internal/fabricmgr"
+	"portland/internal/graydetect"
 	"portland/internal/host"
 	"portland/internal/ldp"
 	"portland/internal/metrics"
@@ -53,6 +54,9 @@ type Options struct {
 	// turning any run into a codec conformance test. Costly; meant
 	// for tests.
 	WireCheck bool
+	// Detect arms every switch's gray-failure detector (default: off,
+	// Interval 0 — byte-identical behavior to a build without one).
+	Detect graydetect.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +151,7 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 			f.Hosts[n.ID] = host.New(f.Eng, n.Name, mac, ip)
 		default:
 			sw := pswitch.New(f.Eng, SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
+			sw.SetDetector(opts.Detect)
 			sw.SetJournal(f.Obs.Journal(n.Name, 256, f.Eng.Now))
 			f.Switches[n.ID] = sw
 			f.wireControl(n.ID, sw)
@@ -296,6 +301,30 @@ func (f *Fabric) RestoreLink(i int) {
 	f.Links[i].SetUp(true)
 }
 
+// SetGrayLoss injects (or, with zero rates, clears) a gray failure on
+// the i-th blueprint link: each direction silently drops the given
+// fraction of non-LDP frames while the link stays administratively up.
+// rateToA applies toward the link's first blueprint endpoint, rateToB
+// toward the second. The onset/clear is journaled with the rates in
+// parts per million.
+func (f *Fabric) SetGrayLoss(i int, rateToA, rateToB float64) {
+	if rateToA == 0 && rateToB == 0 {
+		f.jFabric.Record(obs.GrayCleared, uint64(i), 0, 0, 0)
+	} else {
+		f.jFabric.Record(obs.GrayOnset, uint64(i), ppm(rateToA), ppm(rateToB), 0)
+	}
+	f.Links[i].SetGrayLoss(rateToA, rateToB)
+}
+
+// ppm converts a probability to integer parts-per-million for journal
+// arguments.
+func ppm(rate float64) uint64 { return uint64(rate * 1e6) }
+
+// FabricJournal exposes the fabric-level intervention journal so the
+// fault harness (internal/faults) can record schedule and scenario
+// milestones alongside the link/switch events.
+func (f *Fabric) FabricJournal() *obs.Journal { return f.jFabric }
+
 // FailSwitch crashes a switch: it stops speaking LDP and discards all
 // traffic; neighbors discover the failure through missed LDMs.
 func (f *Fabric) FailSwitch(name string) bool {
@@ -350,7 +379,7 @@ func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
 func (f *Fabric) LinkDrops() metrics.LinkDrops {
 	var d metrics.LinkDrops
 	for _, l := range f.Links {
-		d.Add(metrics.LinkDrops{Queue: l.QueueDrops, Loss: l.LossDrops, Down: l.DownDrops})
+		d.Add(metrics.LinkDrops{Queue: l.QueueDrops, Loss: l.LossDrops, Gray: l.GrayDrops, Down: l.DownDrops})
 	}
 	return d
 }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"portland/internal/graydetect"
+	"portland/internal/obs"
+	"portland/internal/workload"
+)
+
+// buildK4Gray builds a k=4 fabric with the gray-failure detector armed.
+func buildK4Gray(t *testing.T, det graydetect.Config) *Fabric {
+	t.Helper()
+	f, err := NewFatTree(4, Options{Seed: 7, Detect: det})
+	if err != nil {
+		t.Fatalf("NewFatTree: %v", err)
+	}
+	f.Start()
+	if err := f.AwaitDiscovery(2 * time.Second); err != nil {
+		t.Fatalf("AwaitDiscovery: %v", err)
+	}
+	return f
+}
+
+// countKind counts merged journal events of kind k at or after from.
+func countKind(f *Fabric, k obs.Kind, from time.Duration) int {
+	n := 0
+	for _, e := range f.Obs.Merge() {
+		if e.Kind == k && e.At >= from {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGrayInvisibleToLDM is the motivating negative result: a link
+// dropping half its data frames while passing LDP keepalives is never
+// declared down by the liveness protocol, and the flow bleeds for as
+// long as the gray condition lasts.
+func TestGrayInvisibleToLDM(t *testing.T) {
+	f := buildK4(t) // detector off
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := workload.StartCBR(f.Eng, src, dst, 22000, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond)
+
+	link := activeAggCoreLink(t, f, 200*time.Millisecond)
+	onset := f.Eng.Now()
+	f.SetGrayLoss(link, 0.5, 0.5)
+	f.RunFor(1 * time.Second)
+
+	// The liveness layer saw nothing: link up, no neighbor lost, no
+	// reroute — gray is structurally invisible to LDM-based detection.
+	if !f.Links[link].Up() {
+		t.Fatal("gray link went administratively down")
+	}
+	if n := countKind(f, obs.NeighborDown, onset); n != 0 {
+		t.Fatalf("%d NeighborDown events during gray; LDM should see nothing", n)
+	}
+	if n := countKind(f, obs.GrayDetected, onset); n != 0 {
+		t.Fatalf("%d GrayDetected events with detector off", n)
+	}
+	// And the flow bled the whole time: ~50% loss on the gray link,
+	// sustained, with no convergence.
+	got := flow.RX.CountIn(onset+200*time.Millisecond, onset+1000*time.Millisecond)
+	if got > 720 { // 800 expected if healthy; 0.5 loss ≈ 400
+		t.Fatalf("delivery %d/800 during gray; link was not actually lossy", got)
+	}
+	if f.Links[link].GrayDrops == 0 {
+		t.Fatal("no gray drops recorded on the gray link")
+	}
+	flow.Stop()
+}
+
+// TestGrayDetectorQuarantinesAndReroutes is the positive result: with
+// the counter-delta detector armed, the same gray link is quarantined
+// within a few sampling windows and traffic reroutes through the
+// existing exclusion path.
+func TestGrayDetectorQuarantinesAndReroutes(t *testing.T) {
+	det := graydetect.DefaultConfig
+	det.Probes = true
+	f := buildK4Gray(t, det)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := workload.StartCBR(f.Eng, src, dst, 22001, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond)
+
+	link := activeAggCoreLink(t, f, 200*time.Millisecond)
+	onset := f.Eng.Now()
+	f.SetGrayLoss(link, 0.5, 0.5)
+	f.RunFor(1 * time.Second)
+
+	if n := countKind(f, obs.GrayDetected, onset); n == 0 {
+		t.Fatal("detector never quarantined the gray link")
+	}
+	if f.Manager.Stats.GrayReports == 0 {
+		t.Fatal("fabric manager received no gray reports")
+	}
+	conv, ok := flow.RX.ConvergenceAfter(onset, time.Millisecond)
+	if !ok {
+		t.Fatal("flow never converged after gray onset")
+	}
+	t.Logf("gray detected and rerouted in %v", conv)
+	if conv > 300*time.Millisecond {
+		t.Fatalf("reroute took %v; detector too slow", conv)
+	}
+	// Steady state: traffic now avoids the gray link entirely.
+	got := flow.RX.CountIn(onset+500*time.Millisecond, onset+900*time.Millisecond)
+	if got < 380 {
+		t.Fatalf("post-quarantine delivery %d/400", got)
+	}
+	flow.Stop()
+}
+
+// TestAsymmetricGrayNeedsProbes: loss toward one endpoint only. The
+// receiver of the lossy direction sees wire errors in its rx counters;
+// the sender's counters are clean, so with probes enabled both sides
+// quarantine their port, and without probes detection still happens
+// (receiver side) — the test pins the probe path by requiring at least
+// one quarantine and lost probes accounted somewhere.
+func TestAsymmetricGrayDetected(t *testing.T) {
+	det := graydetect.DefaultConfig
+	det.Probes = true
+	f := buildK4Gray(t, det)
+	hosts := f.HostList()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := workload.StartCBR(f.Eng, src, dst, 22002, 1*time.Millisecond, 128)
+	f.RunFor(500 * time.Millisecond)
+
+	link := activeAggCoreLink(t, f, 200*time.Millisecond)
+	onset := f.Eng.Now()
+	f.SetGrayLoss(link, 0, 0.6) // toward the B endpoint only
+	f.RunFor(1 * time.Second)
+
+	if n := countKind(f, obs.GrayDetected, onset); n == 0 {
+		t.Fatal("asymmetric gray never detected")
+	}
+	conv, ok := flow.RX.ConvergenceAfter(onset, time.Millisecond)
+	if !ok || conv > 300*time.Millisecond {
+		t.Fatalf("asymmetric gray reroute %v (ok=%v)", conv, ok)
+	}
+	flow.Stop()
+}
+
+// TestCongestedLinkNotQuarantined is the discrimination property: a
+// link drowning in drop-tail congestion losses is HEALTHY and must not
+// be excluded. Four ~0.8 Gb/s flows from pod 0 fan in on the two
+// aggregation→edge links of one destination edge (3.2 Gb/s into 2
+// Gb/s), guaranteeing sustained queue drops on at least one
+// switch-switch link while wire-error counters stay at zero.
+func TestCongestedLinkNotQuarantined(t *testing.T) {
+	f := buildK4Gray(t, graydetect.DefaultConfig) // counters mode
+	srcs := []string{"host-p0-e0-h0", "host-p0-e0-h1", "host-p0-e1-h0", "host-p0-e1-h1"}
+	dsts := []string{"host-p1-e0-h0", "host-p1-e0-h1", "host-p1-e0-h0", "host-p1-e0-h1"}
+	var flows []*workload.CBR
+	for i := range srcs {
+		s, d := f.HostByName(srcs[i]), f.HostByName(dsts[i])
+		if s == nil || d == nil {
+			t.Fatalf("host %q or %q missing", srcs[i], dsts[i])
+		}
+		// 1500 B every 15 µs = 0.8 Gb/s per flow.
+		flows = append(flows, workload.StartCBR(f.Eng, s, d, 23000+uint16(i), 15*time.Microsecond, 1500))
+	}
+	start := f.Eng.Now()
+	f.RunFor(1 * time.Second)
+
+	// Premise: real congestion drops on at least one switch-switch link.
+	var queueDrops int64
+	for i := range f.Links {
+		an := f.Spec.Nodes[f.Spec.Links[i].A.Node]
+		bn := f.Spec.Nodes[f.Spec.Links[i].B.Node]
+		if an.Level.String() == "host" || bn.Level.String() == "host" {
+			continue
+		}
+		queueDrops += f.Links[i].QueueDrops
+	}
+	if queueDrops == 0 {
+		t.Fatal("test premise broken: no queue drops on switch-switch links")
+	}
+	t.Logf("switch-switch queue drops: %d", queueDrops)
+
+	// The property: congestion never looks like gray failure.
+	if n := countKind(f, obs.GrayDetected, start); n != 0 {
+		t.Fatalf("%d GrayDetected events under pure congestion", n)
+	}
+	if n := countKind(f, obs.NeighborDown, start); n != 0 {
+		t.Fatalf("%d NeighborDown events under pure congestion", n)
+	}
+	if f.Manager.Stats.GrayReports != 0 {
+		t.Fatalf("%d gray reports under pure congestion", f.Manager.Stats.GrayReports)
+	}
+	for _, fl := range flows {
+		fl.Stop()
+	}
+}

@@ -24,6 +24,8 @@ func (f *Fabric) ObsCounters() obs.Counters {
 	c["mgr.exclusions_set"] = ms.ExclusionsSet
 	c["mgr.mcast_installs"] = ms.McastInstalls
 	c["mgr.dhcp_queries"] = ms.DHCPQueries
+	c["mgr.gray_reports"] = ms.GrayReports
+	c["mgr.host_replays"] = ms.HostReplays
 
 	for _, id := range f.Spec.Switches() {
 		sw := f.Switches[id]
@@ -41,6 +43,8 @@ func (f *Fabric) ObsCounters() obs.Counters {
 		c["sw.gratuitous_sent"] += s.GratuitousSent
 		c["sw.dhcp_punts"] += s.DHCPPunts
 		c["sw.dhcp_proxied"] += s.DHCPProxied
+		c["sw.probes_sent"] += s.ProbesSent
+		c["sw.probe_replies"] += s.ProbeReplies
 		ft := sw.FlowTable().Stats
 		c["flow.hits"] += ft.Hits
 		c["flow.misses"] += ft.Misses
@@ -53,6 +57,7 @@ func (f *Fabric) ObsCounters() obs.Counters {
 	d := f.LinkDrops()
 	c["link.drops_queue"] = d.Queue
 	c["link.drops_loss"] = d.Loss
+	c["link.drops_gray"] = d.Gray
 	c["link.drops_down"] = d.Down
 
 	toMgr, fromMgr := f.ControlStats()

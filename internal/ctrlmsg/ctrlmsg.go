@@ -51,6 +51,8 @@ const (
 	KindHeartbeat
 	KindSeqData
 	KindSeqAck
+	KindGrayReport
+	KindHostInstall
 	kindMax
 )
 
@@ -60,7 +62,7 @@ var kindNames = [...]string{
 	"fault-notify", "route-exclude", "mcast-join", "mcast-install",
 	"migration-update", "dhcp-query", "dhcp-answer",
 	"state-sync-request", "lease-report", "sync-done", "heartbeat",
-	"seq-data", "seq-ack",
+	"seq-data", "seq-ack", "gray-report", "host-install",
 }
 
 // String names the kind.
@@ -279,6 +281,33 @@ type SeqAck struct {
 	NextSeq uint64
 }
 
+// GrayReport informs the fabric manager that a switch's gray-failure
+// detector reached a verdict about one of its ports: Quarantined true
+// means the port was just evicted (the matching FaultNotify follows
+// through the normal liveness path), false means a quarantine was
+// released. WireErrs and ProbesLost are the tripping window's deltas,
+// for operator visibility.
+type GrayReport struct {
+	Switch      SwitchID
+	Port        uint8
+	PeerID      SwitchID
+	WireErrs    uint64
+	ProbesLost  uint64
+	Quarantined bool
+}
+
+// HostInstall pushes one host registry record from the fabric manager
+// down to an edge switch, re-seeding its PMAC↔AMAC table after a
+// reboot. Hosts that only receive traffic never re-trigger ingress
+// learning, so without this replay a power-cycled edge would blackhole
+// them forever (paper §3.2: soft state is recoverable from the
+// manager's registry).
+type HostInstall struct {
+	IP   netip.Addr
+	AMAC ether.Addr
+	PMAC ether.Addr
+}
+
 // Kind implementations.
 func (Hello) Kind() Kind            { return KindHello }
 func (LocationReport) Kind() Kind   { return KindLocationReport }
@@ -301,6 +330,8 @@ func (SyncDone) Kind() Kind         { return KindSyncDone }
 func (Heartbeat) Kind() Kind        { return KindHeartbeat }
 func (SeqData) Kind() Kind          { return KindSeqData }
 func (SeqAck) Kind() Kind           { return KindSeqAck }
+func (GrayReport) Kind() Kind       { return KindGrayReport }
+func (HostInstall) Kind() Kind      { return KindHostInstall }
 
 type writer struct{ b []byte }
 
@@ -484,6 +515,17 @@ func Encode(m Msg) []byte {
 		w.b = append(w.b, Encode(v.Payload)...)
 	case SeqAck:
 		w.u64(v.NextSeq)
+	case GrayReport:
+		w.u32(uint32(v.Switch))
+		w.u8(v.Port)
+		w.u32(uint32(v.PeerID))
+		w.u64(v.WireErrs)
+		w.u64(v.ProbesLost)
+		w.bool(v.Quarantined)
+	case HostInstall:
+		w.ip(v.IP)
+		w.mac(v.AMAC)
+		w.mac(v.PMAC)
 	default:
 		panic(fmt.Sprintf("ctrlmsg: cannot encode %T", m))
 	}
@@ -557,6 +599,10 @@ func Decode(b []byte) (Msg, error) {
 		m = SeqData{Seq: seq, Payload: inner}
 	case KindSeqAck:
 		m = SeqAck{NextSeq: r.u64()}
+	case KindGrayReport:
+		m = GrayReport{Switch: SwitchID(r.u32()), Port: r.u8(), PeerID: SwitchID(r.u32()), WireErrs: r.u64(), ProbesLost: r.u64(), Quarantined: r.bool()}
+	case KindHostInstall:
+		m = HostInstall{IP: r.ip(), AMAC: r.mac(), PMAC: r.mac()}
 	default:
 		return nil, fmt.Errorf("ctrlmsg: unknown kind %d", uint8(k))
 	}

@@ -95,6 +95,11 @@ const (
 	// TypeGroupMgmt carries host join/leave requests for multicast
 	// groups (the role IGMP plays in the paper's deployment).
 	TypeGroupMgmt Type = 0x88b6
+	// TypeProbe carries switch-to-switch data-plane liveness probes
+	// (gray-failure detection). Probes are ordinary data frames on the
+	// wire — unlike LDP they are subject to gray loss, which is the
+	// point. Hosts never send or accept it.
+	TypeProbe Type = 0x88b7
 )
 
 // String names well-known EtherTypes.
@@ -108,6 +113,8 @@ func (t Type) String() string {
 		return "LDP"
 	case TypeGroupMgmt:
 		return "GroupMgmt"
+	case TypeProbe:
+		return "Probe"
 	default:
 		return fmt.Sprintf("0x%04x", uint16(t))
 	}

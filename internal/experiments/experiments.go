@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"portland/internal/core"
+	"portland/internal/graydetect"
 	"portland/internal/ldp"
 	"portland/internal/sim"
 	"portland/internal/topo"
@@ -33,6 +34,10 @@ type Rig struct {
 	// positive makes critical control exchanges ride the reliable
 	// (ack + retransmit) wrapper.
 	CtrlLoss float64
+	// Detect arms the per-switch gray-failure detector. The zero value
+	// keeps it off (no ticker, no RNG draws) so every pre-existing
+	// experiment is bit-identical with or without this field.
+	Detect graydetect.Config
 }
 
 // DefaultRig mirrors the paper's testbed scale.
@@ -41,7 +46,7 @@ func DefaultRig() Rig {
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect})
 	if err != nil {
 		return nil, err
 	}

@@ -119,3 +119,9 @@ func TestGoldenA5(t *testing.T) {
 func TestGoldenA6(t *testing.T) {
 	goldenEquivalent(t, func() (*A6Result, error) { return RunA6(4, 5) })
 }
+
+func TestGoldenSC(t *testing.T) {
+	cfg := DefaultSC()
+	cfg.Trials = 1
+	goldenEquivalent(t, func() (*SCResult, error) { return RunSC(cfg) })
+}

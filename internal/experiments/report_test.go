@@ -103,3 +103,47 @@ func TestFig9ReportGolden(t *testing.T) {
 		t.Fatalf("golden report does not round-trip byte-identically (len %d vs %d)", len(again), len(want))
 	}
 }
+
+// TestSCReportGolden pins the scenario-replay determinism acceptance
+// criterion: the same seed must yield a byte-identical `-exp sc` cell
+// report, run after run, serial or parallel — the report is a pure
+// function of (config, coordinate). Regenerate with
+// `go test ./internal/experiments -run Golden -update` after an
+// intentional schema or behavior change.
+func TestSCReportGolden(t *testing.T) {
+	cfg := DefaultSC()
+	rep, err := ReplaySC(cfg, "gray-det", 0)
+	if err != nil {
+		t.Fatalf("ReplaySC: %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	golden := filepath.Join("testdata", "sc-report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fresh scenario replay differs from golden %s (len %d vs %d); run with -update if the change is intentional", golden, len(got), len(want))
+	}
+	// Replay again in-process: two runs of the same cell must agree
+	// byte-for-byte without touching the golden at all.
+	rep2, err := ReplaySC(cfg, "gray-det", 0)
+	if err != nil {
+		t.Fatalf("ReplaySC (second run): %v", err)
+	}
+	again, err := rep2.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes (second run): %v", err)
+	}
+	if !bytes.Equal(again, got) {
+		t.Fatal("two in-process replays of the same scenario cell differ")
+	}
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"portland/internal/core"
+	"portland/internal/faults"
+	"portland/internal/graydetect"
+	"portland/internal/metrics"
+	"portland/internal/obs"
+	"portland/internal/runner"
+	"portland/internal/workload"
+)
+
+// SCConfig parameterizes the scenario-engine experiment: one sweep
+// cell per (fault family, trial), each running a generated scenario
+// against permutation CBR traffic and measuring time-to-detect and
+// time-to-reroute.
+type SCConfig struct {
+	Rig Rig
+	// Detect is the gray-failure detector profile armed in every
+	// family except gray-ldm, whose whole point is to show what the
+	// LDM-only liveness protocol cannot see.
+	Detect graydetect.Config
+	// GrayRate is the per-direction drop probability of the gray
+	// scenarios.
+	GrayRate   float64
+	Trials     int
+	ProbeEvery time.Duration
+}
+
+// DefaultSC is the default scenario sweep: 50% gray loss, the
+// conservative detector profile with probes on, three trials per
+// family. Probes make Clean-based release meaningful, and the sweep
+// needs it: a whole-switch crash also starves its neighbors' probes,
+// so their detectors quarantine the ports — without release, the
+// quarantine would outlive the reboot and the pod would stay excluded
+// forever.
+func DefaultSC() SCConfig {
+	det := graydetect.DefaultConfig
+	det.Probes = true
+	det.Clean = 5
+	return SCConfig{
+		Rig:        DefaultRig(),
+		Detect:     det,
+		GrayRate:   0.5,
+		Trials:     3,
+		ProbeEvery: 1 * time.Millisecond,
+	}
+}
+
+// scSettle is how long each cell keeps running after the scenario's
+// last scheduled instant, so reboots re-discover and flows re-settle.
+const scSettle = 700 * time.Millisecond
+
+// scFamily binds one scenario family to its generator and to the
+// journal signature that defines "detection" for it.
+type scFamily struct {
+	id       string
+	detector bool // arm the gray detector in this family's cells
+	gen      func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool)
+	// trigger/response: detection latency = first response event at or
+	// after the first trigger event.
+	trigger  obs.Kind
+	response obs.Kind
+}
+
+var scFamilies = []scFamily{
+	{
+		// The motivating negative result: gray loss with the detector
+		// off. The LDM keepalives keep passing, so detection = never
+		// and flows on the gray path bleed until the gray condition
+		// itself clears.
+		id: "gray-ldm", detector: false,
+		gen:     scGray,
+		trigger: obs.GrayOnset, response: obs.GrayDetected,
+	},
+	{
+		id: "gray-det", detector: true,
+		gen:     scGray,
+		trigger: obs.GrayOnset, response: obs.GrayDetected,
+	},
+	{
+		id: "flap", detector: true,
+		gen: func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool) {
+			return faults.Flap(r, f, faults.FlapConfig{
+				Links: 1, Cycles: 3,
+				Down: 80 * time.Millisecond, Up: 80 * time.Millisecond,
+				Start: 10 * time.Millisecond,
+			})
+		},
+		trigger: obs.FlapDown, response: obs.NeighborDown,
+	},
+	{
+		id: "pod-power", detector: true,
+		gen: func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool) {
+			return faults.PodPower(r, f, faults.PodPowerConfig{
+				Start: 10 * time.Millisecond, Outage: 300 * time.Millisecond,
+			})
+		},
+		trigger: obs.FaultApplied, response: obs.NeighborDown,
+	},
+	{
+		id: "rolling", detector: true,
+		gen: func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool) {
+			return faults.RollingUpgrade(r, f, faults.RollingConfig{
+				Count: 4, Stagger: 120 * time.Millisecond,
+				Down: 80 * time.Millisecond, Start: 10 * time.Millisecond,
+			})
+		},
+		trigger: obs.FaultApplied, response: obs.NeighborDown,
+	},
+	{
+		// Migration storm: "detection" is the fabric manager noticing
+		// the first moved VM (invalidating its stale PMAC), not a
+		// liveness event — nothing fails.
+		id: "arp-storm", detector: true,
+		gen: func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool) {
+			return faults.ARPStorm(r, f, faults.StormConfig{
+				VMs: 4, Gap: 30 * time.Millisecond,
+				Pause: 5 * time.Millisecond, Start: 10 * time.Millisecond,
+			})
+		},
+		trigger: obs.ScenarioStart, response: obs.MgrMigrate,
+	},
+}
+
+func scGray(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool) {
+	return faults.Gray(r, f, faults.GrayConfig{
+		Links: 2, Rate: cfg.GrayRate,
+		Start: 10 * time.Millisecond, Duration: 1 * time.Second,
+	})
+}
+
+// SCRow is one family's merged result.
+type SCRow struct {
+	Family   string
+	Trials   int
+	Detected int             // trials in which detection fired at all
+	Detect   metrics.Summary // detection latency over detected trials, ms
+	Reroute  metrics.Summary // per-flow convergence after scenario onset, ms
+	Affected int             // flows that saw any interruption
+	Dead     int             // flows never recovered by end of cell
+}
+
+// SCResult is the full sweep.
+type SCResult struct {
+	Cfg  SCConfig
+	Rows []SCRow
+	// Report carries per-cell observability snapshots; Print never
+	// reads it.
+	Report *obs.Report
+}
+
+// scTrial is one cell's raw measures.
+type scTrial struct {
+	name      string
+	detMs     float64
+	detected  bool
+	rerouteMs []float64
+	affected  int
+	dead      int
+	cell      obs.CellReport
+}
+
+// detectLatency scans the merged timeline for the family's
+// trigger→response pair and returns the latency of the first response
+// at or after the first trigger.
+func detectLatency(fam scFamily, merged []obs.SourcedEvent) (time.Duration, bool) {
+	var t0 time.Duration
+	armed := false
+	for _, e := range merged {
+		if !armed {
+			if e.Kind == fam.trigger {
+				t0 = e.At
+				armed = true
+			}
+			continue
+		}
+		if e.Kind == fam.response && e.At >= t0 {
+			return e.At - t0, true
+		}
+	}
+	return 0, false
+}
+
+func runSCCell(cfg SCConfig, fam, trial int) (scTrial, error) {
+	out, _, err := scCell(cfg, fam, trial, false)
+	return out, err
+}
+
+// scCell runs one (family, trial) cell on its own engine. The seed
+// derives only from (base seed, family, trial): the cell is a pure
+// function of its grid coordinate, so parallel sweeps merge
+// byte-identically with serial ones and ReplaySC reproduces any cell
+// bit-for-bit.
+func scCell(cfg SCConfig, fam, trial int, report bool) (scTrial, *obs.Report, error) {
+	family := scFamilies[fam]
+	out := scTrial{name: family.id}
+	rig := cfg.Rig
+	rig.Seed = cfg.Rig.Seed + uint64((fam+1)*1000+trial)
+	if family.detector {
+		rig.Detect = cfg.Detect
+	}
+	f, err := rig.build()
+	if err != nil {
+		return out, nil, err
+	}
+	hosts := f.HostList()
+	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
+	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
+
+	sc, ok := family.gen(f.Eng.Rand(), f, cfg)
+	if !ok {
+		return out, nil, fmt.Errorf("scenario generator %s failed at k=%d", family.id, rig.K)
+	}
+	startRel, endRel := sc.Schedule.Span()
+	applyAt := f.Eng.Now()
+	onset := applyAt + startRel
+	sc.Apply(f)
+	f.RunFor(endRel + scSettle)
+
+	merged := f.Obs.Merge()
+	if d, found := detectLatency(family, merged); found {
+		out.detMs, out.detected = metrics.Ms(d), true
+	}
+	var flowView []obs.FlowConvergence
+	for _, fl := range flows {
+		conv, recovered := fl.RX.ConvergenceAfter(onset, cfg.ProbeEvery)
+		if !recovered {
+			out.dead++
+		} else if conv > 2*cfg.ProbeEvery {
+			out.affected++
+			out.rerouteMs = append(out.rerouteMs, metrics.Ms(conv))
+		}
+		if report {
+			flowView = append(flowView, obs.FlowConvergence{
+				Flow:        fl.Src.Name() + "->" + fl.Dst.Name(),
+				ConvergedMs: metrics.Ms(conv),
+				Recovered:   recovered,
+				Affected:    recovered && conv > 2*cfg.ProbeEvery,
+			})
+		}
+	}
+	for _, fl := range flows {
+		fl.Stop()
+	}
+	out.cell = obsCell(f, fam, trial, rig.Seed)
+	if !report {
+		return out, nil, nil
+	}
+
+	rep := newReport("sc", rig.Seed)
+	rep.Params["k"] = itoa(rig.K)
+	rep.Params["family"] = family.id
+	rep.Params["scenario"] = sc.Name
+	rep.Params["trial"] = itoa(trial)
+	rep.Params["probe_every"] = cfg.ProbeEvery.String()
+	rep.Params["detector"] = map[bool]string{true: "on", false: "off"}[family.detector]
+	if out.detected {
+		rep.Params["detect_ms"] = fmt.Sprintf("%.3f", out.detMs)
+	} else {
+		rep.Params["detect_ms"] = "never"
+	}
+	rep.Convergence = &obs.Convergence{
+		FaultAtNs: int64(onset),
+		Failure:   metrics.Summarize(out.rerouteMs),
+		Flows:     flowView,
+	}
+	rep.ARPLatency = obs.ARPLatencies(merged)
+	rep.RegistryChurn = obs.RegistryChurn(merged, 100*time.Millisecond)
+	rep.Timeline = obs.Timeline(merged, onset, f.Eng.Now())
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{out.cell}
+	return out, rep, nil
+}
+
+// ReplaySC re-runs one (family, trial) cell of the scenario sweep and
+// returns its full observability report — byte-identical on every
+// invocation at the same config, which the checked-in golden pins.
+func ReplaySC(cfg SCConfig, family string, trial int) (*obs.Report, error) {
+	for i, fam := range scFamilies {
+		if fam.id == family {
+			_, rep, err := scCell(cfg, i, trial, true)
+			return rep, err
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario family %q", family)
+}
+
+// RunSC runs every scenario family under generated fault stories and
+// measures how long the fabric took to notice (time-to-detect) and to
+// restore steady delivery (time-to-reroute). Cells fan out over the
+// runner pool; rows merge in (family, trial) order so parallel output
+// is byte-identical to serial.
+func RunSC(cfg SCConfig) (*SCResult, error) {
+	cells, err := runner.Grid(len(scFamilies), cfg.Trials, func(point, trial int) (scTrial, error) {
+		return runSCCell(cfg, point, trial)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SCResult{Cfg: cfg}
+	res.Report = sweepReport("sc", cfg.Rig.Seed, map[string]string{
+		"k":           itoa(cfg.Rig.K),
+		"trials":      itoa(cfg.Trials),
+		"gray_rate":   fmt.Sprintf("%.2f", cfg.GrayRate),
+		"probe_every": cfg.ProbeEvery.String(),
+		"det_window":  cfg.Detect.Interval.String(),
+		"det_trip":    itoa(cfg.Detect.Trip),
+	}, nil)
+	for p, trials := range cells {
+		row := SCRow{Family: scFamilies[p].id, Trials: len(trials)}
+		var detMs, rerMs []float64
+		for _, tr := range trials {
+			res.Report.Cells = append(res.Report.Cells, tr.cell)
+			if tr.detected {
+				row.Detected++
+				detMs = append(detMs, tr.detMs)
+			}
+			rerMs = append(rerMs, tr.rerouteMs...)
+			row.Affected += tr.affected
+			row.Dead += tr.dead
+		}
+		row.Detect = metrics.Summarize(detMs)
+		row.Reroute = metrics.Summarize(rerMs)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print tabulates per-family detection and reroute latencies. A family
+// whose detection never fired prints "never" — for gray-ldm that IS
+// the result: the liveness protocol cannot see gray failures.
+func (r *SCResult) Print(w io.Writer) {
+	fprintf(w, "Scenario engine — time-to-detect / time-to-reroute per fault family\n")
+	fprintf(w, "(k=%d fat tree, %d trials/family, probe interval %v; detector: %v windows, trip %d, probes %v)\n",
+		r.Cfg.Rig.K, r.Cfg.Trials, r.Cfg.ProbeEvery,
+		r.Cfg.Detect.Interval, r.Cfg.Detect.Trip, r.Cfg.Detect.Probes)
+	hr(w)
+	fprintf(w, "%-10s %9s  %26s  %26s  %8s %5s\n", "family", "detected", "detect latency (ms)", "reroute (ms)", "affected", "dead")
+	fprintf(w, "%-10s %9s  %8s %8s %8s  %8s %8s %8s\n", "", "", "median", "mean", "max", "median", "mean", "max")
+	for _, row := range r.Rows {
+		det := fmt.Sprintf("%d/%d", row.Detected, row.Trials)
+		if row.Detected == 0 {
+			fprintf(w, "%-10s %9s  %8s %8s %8s  %8.1f %8.1f %8.1f  %8d %5d\n",
+				row.Family, "never", "-", "-", "-",
+				row.Reroute.Median, row.Reroute.Mean, row.Reroute.Max,
+				row.Affected, row.Dead)
+			continue
+		}
+		fprintf(w, "%-10s %9s  %8.1f %8.1f %8.1f  %8.1f %8.1f %8.1f  %8d %5d\n",
+			row.Family, det,
+			row.Detect.Median, row.Detect.Mean, row.Detect.Max,
+			row.Reroute.Median, row.Reroute.Mean, row.Reroute.Max,
+			row.Affected, row.Dead)
+	}
+	fmt.Fprintln(w)
+}

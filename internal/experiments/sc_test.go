@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestPodPowerPositionSwapHeals replays the pod-power cells of the
+// scenario sweep and requires every flow to recover. Trial 1's seed is
+// the interesting one: the power-cycled pod's edges come back with
+// their positions swapped, so each host's old PMAC is one VMID away
+// from its neighbour's new one. The registry replay must then issue
+// corrected PMACs from VMIDs disjoint with every outstanding address —
+// otherwise the stale-address invalidation for one host tears down the
+// other's live mapping and the §3.4 gratuitous corrections redirect
+// senders to the wrong IP, blackholing inbound flows forever.
+func TestPodPowerPositionSwapHeals(t *testing.T) {
+	cfg := DefaultSC()
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rep, err := ReplaySC(cfg, "pod-power", trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fl := range rep.Convergence.Flows {
+			if !fl.Recovered {
+				t.Errorf("trial %d (%s): flow %s never recovered",
+					trial, rep.Params["scenario"], fl.Flow)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package fabricmgr
 
 import (
+	"bytes"
 	"net/netip"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"portland/internal/ctrlnet"
 	"portland/internal/ether"
 	"portland/internal/obs"
+	"portland/internal/pmac"
 )
 
 // Counters tracks manager load for the scalability experiments.
@@ -33,12 +35,22 @@ type Counters struct {
 	ExclusionsSet int64
 	McastInstalls int64
 	DHCPQueries   int64
+	GrayReports   int64
+	HostReplays   int64
 }
 
 type hostRecord struct {
 	amac ether.Addr
 	pmac ether.Addr
 	edge ctrlmsg.SwitchID
+}
+
+// staleEntry is a parked §3.4 invalidation: a PMAC that stopped
+// routing to its host because the issuing edge rebooted into a
+// different position. Keyed by the stale PMAC in Manager.stale.
+type staleEntry struct {
+	ip      netip.Addr
+	newPMAC ether.Addr
 }
 
 // pairKey identifies a switch pair (at most one physical link between
@@ -147,6 +159,17 @@ type Manager struct {
 
 	nextPod uint16
 
+	// pods is the sticky pod memory: the last real (non-sentinel) pod
+	// each edge switch was known to occupy. Unlike locs, it survives
+	// the switch re-registering with PodUnknown after a reboot, so a
+	// power-cycled pod gets its number — and thus every member PMAC —
+	// back instead of a fresh one that stales every remote ARP cache.
+	pods map[ctrlmsg.SwitchID]uint16
+
+	// stale holds parked invalidations for PMACs orphaned by an edge
+	// rebooting into a different position (see syncEdgeHosts).
+	stale map[ether.Addr]staleEntry
+
 	// passive suppresses all transmissions: a warm standby mirrors
 	// the control stream to build state but must stay silent until
 	// promoted (resync.go).
@@ -181,6 +204,8 @@ func New() *Manager {
 		excl:   make(map[ctrlmsg.SwitchID]map[exclKey]bool),
 		groups: make(map[uint32]*group),
 		leases: make(map[ether.Addr]netip.Addr),
+		pods:   make(map[ctrlmsg.SwitchID]uint16),
+		stale:  make(map[ether.Addr]staleEntry),
 	}
 }
 
@@ -226,10 +251,21 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 	case ctrlmsg.LocationReport:
 		m.noteLoc(v.Switch, v.Loc)
 		m.notePod(v.Loc.Pod)
+		if v.Loc.Level == ctrlmsg.LevelEdge && v.Loc.Pod < podSentinel {
+			m.syncEdgeHosts(v.Switch, v.Loc)
+		}
 		m.recomputeRoutes()
 	case ctrlmsg.PodRequest:
+		// Sticky assignment: a switch the registry already places in a
+		// pod (e.g. the position-0 edge of a whole pod that power-cycled
+		// and restarted discovery) gets its old number back, so the rest
+		// of the fabric's pod-addressed state stays meaningful.
 		pod := m.nextPod
-		m.nextPod++
+		if old, ok := m.pods[v.Switch]; ok {
+			pod = old
+		} else {
+			m.nextPod++
+		}
 		m.jou.Record(obs.MgrPodAssign, uint64(v.Switch), uint64(pod), 0, 0)
 		m.send(v.Switch, ctrlmsg.PodAssign{Pod: pod})
 	case ctrlmsg.PMACRegister:
@@ -246,6 +282,13 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 		m.noteLease(v.MAC, v.IP)
 	case ctrlmsg.SyncDone:
 		m.handleSyncDone(v)
+	case ctrlmsg.GrayReport:
+		m.Stats.GrayReports++
+		q := uint64(0)
+		if v.Quarantined {
+			q = 1
+		}
+		m.jou.Record(obs.MgrGrayReport, uint64(v.Switch), uint64(v.Port), v.WireErrs, q)
 	}
 }
 
@@ -262,6 +305,109 @@ func (m *Manager) send(id ctrlmsg.SwitchID, msg ctrlmsg.Msg) {
 func ip4u32(ip netip.Addr) uint64 {
 	b := ip.As4()
 	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}
+
+// syncEdgeHosts runs when an edge switch reports a resolved location:
+// every registry record homed on it is pushed back down
+// (ctrlmsg.HostInstall), re-seeding the PMAC table a reboot wiped.
+// Hosts that never transmit (pure receivers) would otherwise stay
+// unreachable forever, because only ingress traffic re-populates the
+// table. This is the §3.2 soft-state story run in reverse: the manager
+// rebuilt its state from the switches once, now a switch rebuilds its
+// state from the manager.
+//
+// Reboots can also change the location itself — position negotiation
+// is randomized, so a power-cycled pod's edges may come back with
+// their positions swapped. Every PMAC the edge issued is then stale
+// fabric-wide: senders' ARP caches and the registry still route to
+// the old position. The registry rewrites to the new location (port
+// and VMID survive; pod and position follow the report), and the old
+// PMACs become invalidation entries planted on whichever edge now
+// owns the old position, so stale senders are corrected by the
+// ordinary §3.4 migration mechanism the moment their next frame
+// lands there.
+func (m *Manager) syncEdgeHosts(id ctrlmsg.SwitchID, loc ctrlmsg.Loc) {
+	ips := make([]netip.Addr, 0, len(m.ips))
+	for ip, rec := range m.ips {
+		if rec.edge == id {
+			ips = append(ips, ip)
+		}
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i].Less(ips[j]) })
+	// Outstanding PMACs: every live record plus every parked stale
+	// address. A corrected PMAC must never collide with one of them —
+	// after a position swap, host A's old address would otherwise be
+	// byte-identical to host B's new one, and the invalidation for A's
+	// stale address would tear down B's freshly replayed mapping.
+	used := make(map[ether.Addr]struct{}, len(m.ips)+len(m.stale))
+	for _, rec := range m.ips {
+		used[rec.pmac] = struct{}{}
+	}
+	for a := range m.stale {
+		used[a] = struct{}{}
+	}
+	for _, ip := range ips {
+		rec := m.ips[ip]
+		want := pmac.FromAddr(rec.pmac)
+		want.Pod, want.Position = loc.Pod, loc.Pos
+		if want.Addr() != rec.pmac {
+			for {
+				if _, taken := used[want.Addr()]; !taken {
+					break
+				}
+				want.VMID++
+			}
+			wa := want.Addr()
+			used[wa] = struct{}{}
+			m.noteStale(rec.pmac, staleEntry{ip: ip, newPMAC: wa})
+			rec.pmac = wa
+			m.ips[ip] = rec
+		}
+		m.Stats.HostReplays++
+		m.jou.Record(obs.MgrHostReplay, uint64(id), ip4u32(ip), 0, 0)
+		m.send(id, ctrlmsg.HostInstall{IP: ip, AMAC: rec.amac, PMAC: rec.pmac})
+	}
+	m.deliverStales(id, loc)
+}
+
+// noteStale parks an invalidation for a PMAC that no longer routes to
+// its host and, if some edge already owns the stale position, delivers
+// it immediately. Either this direct delivery or a later
+// deliverStales (when the position's new owner reports in) hands the
+// invalidation to the edge where stale-addressed frames actually
+// land — whichever resolves the position first.
+func (m *Manager) noteStale(old ether.Addr, e staleEntry) {
+	m.stale[old] = e
+	p := pmac.FromAddr(old)
+	owners := make([]ctrlmsg.SwitchID, 0, 1)
+	for sid, l := range m.locs {
+		if l.Level == ctrlmsg.LevelEdge && l.Pod == p.Pod && l.Pos == p.Position {
+			owners = append(owners, sid)
+		}
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, sid := range owners {
+		m.send(sid, ctrlmsg.MigrationUpdate{IP: e.ip, OldPMAC: old, NewPMAC: e.newPMAC})
+		delete(m.stale, old)
+	}
+}
+
+// deliverStales hands the edge that just claimed a position every
+// parked invalidation for PMACs that route there.
+func (m *Manager) deliverStales(id ctrlmsg.SwitchID, loc ctrlmsg.Loc) {
+	addrs := make([]ether.Addr, 0, len(m.stale))
+	for a := range m.stale {
+		p := pmac.FromAddr(a)
+		if p.Pod == loc.Pod && p.Position == loc.Pos {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return bytes.Compare(addrs[i][:], addrs[j][:]) < 0 })
+	for _, a := range addrs {
+		e := m.stale[a]
+		m.send(id, ctrlmsg.MigrationUpdate{IP: e.ip, OldPMAC: a, NewPMAC: e.newPMAC})
+		delete(m.stale, a)
+	}
 }
 
 // register installs or updates an IP mapping; a changed PMAC for a
@@ -455,6 +601,9 @@ func (m *Manager) noteLoc(id ctrlmsg.SwitchID, loc ctrlmsg.Loc) {
 		m.edgesDirty = true
 	} else if old.Level != loc.Level {
 		m.edgesDirty = true
+	}
+	if loc.Level == ctrlmsg.LevelEdge && loc.Pod < podSentinel {
+		m.pods[id] = loc.Pod
 	}
 	m.locs[id] = loc
 }

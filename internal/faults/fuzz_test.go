@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"portland/internal/core"
+)
+
+// fuzzFabric is a blueprint-only fabric (never started): the
+// generators only consult the spec and candidate sets, so one instance
+// serves every fuzz iteration.
+var fuzzFabric = sync.OnceValue(func() *core.Fabric {
+	f, err := core.NewFatTree(4, core.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return f
+})
+
+// checkScenario asserts the schedule invariants every generator must
+// uphold for any accepted config: structural validity (no negative
+// times, rates in range, recovery for every fault) and refcount
+// balance (every hold released by scenario end).
+func checkScenario(t *testing.T, sc Scenario, ok bool) {
+	t.Helper()
+	if !ok {
+		return // rejected configs are fine; accepted ones must be sound
+	}
+	if err := sc.Schedule.Validate(true); err != nil {
+		t.Fatalf("%s: generated invalid schedule: %v", sc.Name, err)
+	}
+	links, sws, mgr := sc.Schedule.RefcountBalance()
+	if len(links) != 0 || len(sws) != 0 || mgr != 0 {
+		t.Fatalf("%s: refcounts outstanding at scenario end: links=%v switches=%v mgr=%d",
+			sc.Name, links, sws, mgr)
+	}
+	start, end := sc.Schedule.Span()
+	if start < 0 || end < start {
+		t.Fatalf("%s: span [%v, %v] malformed", sc.Name, start, end)
+	}
+	for i, e := range sc.Schedule.Events {
+		if e.Duration > 0 && e.At+e.Duration < e.At {
+			t.Fatalf("%s: event %d recovery precedes failure", sc.Name, i)
+		}
+	}
+}
+
+// FuzzScenarioInvariants drives the scenario generators with arbitrary
+// parameters — stagger, hysteresis dwell times, loss rates, counts,
+// seeds — and asserts that every accepted scenario satisfies the
+// schedule invariants: no recovery before its failure, no negative
+// times, and refcounts that return to zero at scenario end.
+func FuzzScenarioInvariants(f *testing.F) {
+	f.Add(uint64(1), 3, 0.3, int64(10), int64(20), int64(30), 2, 3)
+	f.Add(uint64(2), 1, 0.0, int64(0), int64(1), int64(1), 1, 1)
+	f.Add(uint64(3), 40, 1.0, int64(-5), int64(1000000), int64(7), 9, 100)
+	f.Add(uint64(4), 0, -0.5, int64(50), int64(-20), int64(0), 0, -1)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, rate float64,
+		startMs, downMs, upMs int64, cycles, count int) {
+		fb := fuzzFabric()
+		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		start := time.Duration(startMs) * time.Millisecond
+		down := time.Duration(downMs) * time.Millisecond
+		up := time.Duration(upMs) * time.Millisecond
+
+		sc, ok := Gray(r, fb, GrayConfig{
+			Links: n, Rate: rate, Asymmetric: n%2 == 0,
+			Start: start, Duration: down,
+		})
+		checkScenario(t, sc, ok)
+
+		// PickConnected needs routability screening over the spec only;
+		// it never touches live state, so the blueprint fabric works.
+		sc, ok = Flap(r, fb, FlapConfig{
+			Links: n, Cycles: cycles, Down: down, Up: up, Start: start,
+		})
+		checkScenario(t, sc, ok)
+
+		sc, ok = PodPower(r, fb, PodPowerConfig{Start: start, Outage: down})
+		checkScenario(t, sc, ok)
+
+		sc, ok = RollingUpgrade(r, fb, RollingConfig{
+			Count: count, Stagger: up, Down: down, Start: start,
+		})
+		checkScenario(t, sc, ok)
+	})
+}

@@ -1,0 +1,310 @@
+// Scenario generators: seeded, deterministic, declarative fault
+// stories built from the same Schedule vocabulary the experiments
+// consume. Each generator draws only from the supplied PRNG, so a
+// scenario is a pure function of (fabric blueprint, seed, config) —
+// the property that keeps scenario-replay reports byte-identical.
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"portland/internal/core"
+	"portland/internal/host"
+	"portland/internal/obs"
+	"portland/internal/topo"
+)
+
+// Tag classifies a scenario family for journals and reports.
+type Tag uint8
+
+// Scenario families.
+const (
+	// TagNone marks an untagged ad-hoc schedule.
+	TagNone Tag = iota
+	// TagGray is a partial-loss failure on a live link.
+	TagGray
+	// TagFlap is a link cycling down/up with hysteresis.
+	TagFlap
+	// TagPodPower is a correlated whole-pod power event.
+	TagPodPower
+	// TagRolling is a staggered switch reboot/upgrade wave.
+	TagRolling
+	// TagStorm is a gratuitous-ARP migration storm (rack evacuation).
+	TagStorm
+)
+
+// String names the tag.
+func (t Tag) String() string {
+	switch t {
+	case TagNone:
+		return "none"
+	case TagGray:
+		return "gray"
+	case TagFlap:
+		return "flap"
+	case TagPodPower:
+		return "pod-power"
+	case TagRolling:
+		return "rolling-upgrade"
+	case TagStorm:
+		return "arp-storm"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// Scenario is a tagged, named schedule. Applying it brackets the
+// schedule with ScenarioStart/ScenarioEnd journal events so report
+// timelines can segment by scenario.
+type Scenario struct {
+	Tag      Tag
+	Name     string
+	Schedule Schedule
+}
+
+// Apply journals the scenario bracket and arms the schedule.
+func (sc Scenario) Apply(f *core.Fabric) {
+	j := f.FabricJournal()
+	start, end := sc.Schedule.Span()
+	tag, n := uint64(sc.Tag), uint64(len(sc.Schedule.Events))
+	f.Eng.Schedule(start, func() { j.Record(obs.ScenarioStart, tag, n, 0, 0) })
+	sc.Schedule.Apply(f)
+	f.Eng.Schedule(end, func() { j.Record(obs.ScenarioEnd, tag, 0, 0, 0) })
+}
+
+// GrayConfig parameterizes Gray.
+type GrayConfig struct {
+	// Links is how many distinct switch-to-switch links go gray.
+	Links int
+	// Rate is the per-frame drop probability in each gray direction.
+	Rate float64
+	// Asymmetric drops only toward the link's second endpoint —
+	// the nastier case, invisible to one side's rx counters.
+	Asymmetric bool
+	Start      time.Duration
+	Duration   time.Duration
+}
+
+// Gray builds a gray-failure scenario: Links random switch links drop
+// Rate of their data frames while staying up at the LDP layer. The
+// links need no routability screen — nothing goes administratively
+// down. ok is false when the blueprint has fewer switch links than
+// requested.
+func Gray(r *rand.Rand, f *core.Fabric, cfg GrayConfig) (Scenario, bool) {
+	all := SwitchLinks(f.Spec)
+	if cfg.Links <= 0 || cfg.Links > len(all) ||
+		cfg.Rate < 0 || cfg.Rate > 1 || cfg.Start < 0 || cfg.Duration <= 0 {
+		return Scenario{}, false
+	}
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	grays := make([]GrayLink, 0, cfg.Links)
+	for _, li := range all[:cfg.Links] {
+		g := GrayLink{Link: li, RateToB: cfg.Rate}
+		if !cfg.Asymmetric {
+			g.RateToA = cfg.Rate
+		}
+		grays = append(grays, g)
+	}
+	return Scenario{
+		Tag:  TagGray,
+		Name: fmt.Sprintf("gray-%dx%.0f%%", cfg.Links, cfg.Rate*100),
+		Schedule: Schedule{Events: []Event{{
+			At: cfg.Start, Duration: cfg.Duration, Gray: grays,
+		}}},
+	}, true
+}
+
+// FlapConfig parameterizes Flap.
+type FlapConfig struct {
+	// Links is how many links flap in lockstep.
+	Links int
+	// Cycles is the number of down/up cycles.
+	Cycles int
+	// Down and Up are the hysteresis dwell times of each cycle.
+	Down, Up time.Duration
+	Start    time.Duration
+}
+
+// Flap builds a flapping-link scenario: a routability-preserving link
+// set cycles down for Down, up for Up, Cycles times. ok is false when
+// no routability-preserving set of the requested size exists.
+func Flap(r *rand.Rand, f *core.Fabric, cfg FlapConfig) (Scenario, bool) {
+	if cfg.Links <= 0 || cfg.Cycles <= 0 || cfg.Down <= 0 || cfg.Up <= 0 || cfg.Start < 0 {
+		return Scenario{}, false
+	}
+	links, ok := PickConnected(r, f, cfg.Links)
+	if !ok {
+		return Scenario{}, false
+	}
+	var evs []Event
+	period := cfg.Down + cfg.Up
+	for c := 0; c < cfg.Cycles; c++ {
+		evs = append(evs, Event{
+			At:       cfg.Start + time.Duration(c)*period,
+			Duration: cfg.Down,
+			Links:    links,
+			Flap:     true,
+			Cycle:    c,
+		})
+	}
+	return Scenario{
+		Tag:      TagFlap,
+		Name:     fmt.Sprintf("flap-%dx%d", cfg.Links, cfg.Cycles),
+		Schedule: Schedule{Events: evs},
+	}, true
+}
+
+// PodPowerConfig parameterizes PodPower.
+type PodPowerConfig struct {
+	Start  time.Duration
+	Outage time.Duration
+}
+
+// PodPower builds a correlated whole-pod power event: every edge and
+// aggregation switch of one random pod crashes at once and reboots
+// together Outage later — the blast radius of a failed PDU. ok is
+// false when the blueprint has no pods.
+func PodPower(r *rand.Rand, f *core.Fabric, cfg PodPowerConfig) (Scenario, bool) {
+	if cfg.Start < 0 || cfg.Outage <= 0 {
+		return Scenario{}, false
+	}
+	pods := 0
+	for _, n := range f.Spec.Nodes {
+		if (n.Level == topo.Edge || n.Level == topo.Aggregation) && n.Pod >= pods {
+			pods = n.Pod + 1
+		}
+	}
+	if pods == 0 {
+		return Scenario{}, false
+	}
+	pod := r.IntN(pods)
+	var sws []topo.NodeID
+	for _, n := range f.Spec.Nodes {
+		if (n.Level == topo.Edge || n.Level == topo.Aggregation) && n.Pod == pod {
+			sws = append(sws, n.ID)
+		}
+	}
+	return Scenario{
+		Tag:  TagPodPower,
+		Name: fmt.Sprintf("pod-power-p%d", pod),
+		Schedule: Schedule{Events: []Event{{
+			At: cfg.Start, Duration: cfg.Outage, Switches: sws,
+		}}},
+	}, true
+}
+
+// RollingConfig parameterizes RollingUpgrade.
+type RollingConfig struct {
+	// Count is how many switches the wave reboots.
+	Count int
+	// Stagger separates consecutive reboot starts.
+	Stagger time.Duration
+	// Down is each switch's reboot outage.
+	Down  time.Duration
+	Start time.Duration
+}
+
+// RollingUpgrade builds a staggered reboot wave over random
+// aggregation and core switches (edges are excluded — rebooting an
+// edge disconnects its rack outright, which is a pod-power scenario,
+// not an upgrade wave). ok is false when Count exceeds the candidates.
+func RollingUpgrade(r *rand.Rand, f *core.Fabric, cfg RollingConfig) (Scenario, bool) {
+	cands := SwitchCandidates(f)
+	if cfg.Count <= 0 || cfg.Count > len(cands) || cfg.Down <= 0 ||
+		cfg.Stagger < 0 || cfg.Start < 0 {
+		return Scenario{}, false
+	}
+	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	var evs []Event
+	for i, id := range cands[:cfg.Count] {
+		evs = append(evs, Event{
+			At:       cfg.Start + time.Duration(i)*cfg.Stagger,
+			Duration: cfg.Down,
+			Switches: []topo.NodeID{id},
+		})
+	}
+	return Scenario{
+		Tag:      TagRolling,
+		Name:     fmt.Sprintf("rolling-%d", cfg.Count),
+		Schedule: Schedule{Events: evs},
+	}, true
+}
+
+// StormConfig parameterizes ARPStorm.
+type StormConfig struct {
+	// VMs is how many VMs evacuate.
+	VMs int
+	// Gap separates consecutive migration starts.
+	Gap time.Duration
+	// Pause is each VM's detach→attach blackout (the freeze window).
+	Pause time.Duration
+	Start time.Duration
+}
+
+// vmIndexBase offsets scenario VM identities far above any physical
+// host index, so generated MACs/IPs never collide with the blueprint.
+const vmIndexBase = 1 << 20
+
+// ARPStorm builds a rack-evacuation migration storm: VMs boot on the
+// hosts of one random rack (attached immediately, so they register
+// during warm-up) and then migrate one by one, Gap apart, to hosts
+// outside the rack — each arrival firing the gratuitous ARP that
+// makes the fabric manager invalidate stale PMAC caches. ok is false
+// when the blueprint has fewer than two racks.
+func ARPStorm(r *rand.Rand, f *core.Fabric, cfg StormConfig) (Scenario, bool) {
+	if cfg.VMs <= 0 || cfg.Gap < 0 || cfg.Pause < 0 || cfg.Start < 0 {
+		return Scenario{}, false
+	}
+	racks := racksOf(f)
+	if len(racks) < 2 {
+		return Scenario{}, false
+	}
+	src := r.IntN(len(racks))
+	var dsts []*host.Host
+	for i, rack := range racks {
+		if i != src {
+			dsts = append(dsts, rack...)
+		}
+	}
+	var evs []Event
+	for i := 0; i < cfg.VMs; i++ {
+		vm := host.NewVM(topo.HostMAC(vmIndexBase+i), topo.HostIP(vmIndexBase+i))
+		racks[src][i%len(racks[src])].AttachVM(vm)
+		at := cfg.Start + time.Duration(i)*cfg.Gap
+		evs = append(evs,
+			Event{At: at, Detach: []*host.Endpoint{vm}},
+			Event{At: at + cfg.Pause, Attach: []VMAttach{{VM: vm, To: dsts[i%len(dsts)]}}},
+		)
+	}
+	return Scenario{
+		Tag:      TagStorm,
+		Name:     fmt.Sprintf("arp-storm-%d", cfg.VMs),
+		Schedule: Schedule{Events: evs},
+	}, true
+}
+
+// racksOf groups the fabric's hosts by their edge switch, in blueprint
+// link order (deterministic).
+func racksOf(f *core.Fabric) [][]*host.Host {
+	byEdge := make(map[topo.NodeID][]*host.Host)
+	var order []topo.NodeID
+	for _, ls := range f.Spec.Links {
+		for _, pair := range [2][2]topo.NodeID{{ls.A.Node, ls.B.Node}, {ls.B.Node, ls.A.Node}} {
+			hn, sn := pair[0], pair[1]
+			if f.Spec.Nodes[hn].Level != topo.Host || f.Spec.Nodes[sn].Level != topo.Edge {
+				continue
+			}
+			if _, seen := byEdge[sn]; !seen {
+				order = append(order, sn)
+			}
+			byEdge[sn] = append(byEdge[sn], f.Hosts[hn])
+		}
+	}
+	racks := make([][]*host.Host, 0, len(order))
+	for _, id := range order {
+		racks = append(racks, byEdge[id])
+	}
+	return racks
+}

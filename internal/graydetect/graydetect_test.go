@@ -1,0 +1,163 @@
+package graydetect
+
+import (
+	"testing"
+	"time"
+)
+
+func cfg() Config {
+	return Config{Interval: 10 * time.Millisecond, MinDrops: 5, Trip: 3}
+}
+
+func TestTripsAfterConsecutiveBadWindows(t *testing.T) {
+	d := New(cfg())
+	for i := 0; i < 2; i++ {
+		if v := d.Observe(1, Sample{WireErr: 10}); v != None {
+			t.Fatalf("window %d: verdict %v before Trip", i, v)
+		}
+	}
+	if v := d.Observe(1, Sample{WireErr: 10}); v != Quarantine {
+		t.Fatalf("third bad window: verdict %v, want Quarantine", v)
+	}
+	if !d.Quarantined(1) {
+		t.Fatal("port not marked quarantined")
+	}
+	// Further bad windows do not re-announce.
+	if v := d.Observe(1, Sample{WireErr: 10}); v != None {
+		t.Fatalf("post-quarantine bad window: verdict %v", v)
+	}
+}
+
+func TestCleanWindowResetsTheStreak(t *testing.T) {
+	d := New(cfg())
+	d.Observe(1, Sample{WireErr: 10})
+	d.Observe(1, Sample{WireErr: 10})
+	d.Observe(1, Sample{}) // clean — streak broken
+	d.Observe(1, Sample{WireErr: 10})
+	if v := d.Observe(1, Sample{WireErr: 10}); v != None {
+		t.Fatalf("streak not reset by clean window: %v", v)
+	}
+}
+
+func TestCongestionNeverTrips(t *testing.T) {
+	// Queue drops are congestion, not wire failure: they must never
+	// contribute to a verdict no matter how severe or sustained.
+	d := New(cfg())
+	for i := 0; i < 100; i++ {
+		if v := d.Observe(1, Sample{QueueDrops: 1 << 20}); v != None {
+			t.Fatalf("window %d: congestion produced verdict %v", i, v)
+		}
+	}
+	if d.Quarantined(1) {
+		t.Fatal("congested port quarantined")
+	}
+}
+
+func TestMinDropsFiltersNoise(t *testing.T) {
+	d := New(cfg())
+	for i := 0; i < 100; i++ {
+		if v := d.Observe(1, Sample{WireErr: 4}); v != None { // below MinDrops=5
+			t.Fatalf("sub-threshold noise produced verdict %v", v)
+		}
+	}
+}
+
+func TestProbeLossTripsWithCleanCounters(t *testing.T) {
+	// Sender side of an asymmetric gray link: rx counters clean,
+	// probe replies missing.
+	c := cfg()
+	c.Probes = true
+	d := New(c)
+	d.Observe(1, Sample{ProbesSent: 1, ProbesLost: 1})
+	d.Observe(1, Sample{ProbesSent: 1, ProbesLost: 1})
+	if v := d.Observe(1, Sample{ProbesSent: 1, ProbesLost: 1}); v != Quarantine {
+		t.Fatalf("probe loss alone: verdict %v, want Quarantine", v)
+	}
+}
+
+func TestProbeLossIgnoredWithoutProbesMode(t *testing.T) {
+	d := New(cfg())
+	for i := 0; i < 10; i++ {
+		if v := d.Observe(1, Sample{ProbesSent: 1, ProbesLost: 1}); v != None {
+			t.Fatalf("probes-off detector used probe evidence: %v", v)
+		}
+	}
+}
+
+func TestNoReleaseWithoutProbes(t *testing.T) {
+	// Counters-only: a quarantined link carries no traffic, so clean
+	// counters are not evidence of health. Clean>0 without Probes must
+	// never release.
+	c := cfg()
+	c.Clean = 2
+	d := New(c)
+	for i := 0; i < 3; i++ {
+		d.Observe(1, Sample{WireErr: 10})
+	}
+	if !d.Quarantined(1) {
+		t.Fatal("setup: not quarantined")
+	}
+	for i := 0; i < 50; i++ {
+		if v := d.Observe(1, Sample{}); v != None {
+			t.Fatalf("counters-only release fired: %v", v)
+		}
+	}
+	if !d.Quarantined(1) {
+		t.Fatal("counters-only detector released an idle link")
+	}
+}
+
+func TestReleaseRequiresCleanProbeEvidence(t *testing.T) {
+	c := cfg()
+	c.Probes = true
+	c.Clean = 2
+	d := New(c)
+	for i := 0; i < 3; i++ {
+		d.Observe(1, Sample{WireErr: 10})
+	}
+	// Clean windows with no probe activity build the streak but cannot
+	// release on their own: the releasing window itself needs an
+	// answered probe.
+	for i := 0; i < 10; i++ {
+		if v := d.Observe(1, Sample{}); v != None {
+			t.Fatalf("released without probe evidence: %v", v)
+		}
+	}
+	if v := d.Observe(1, Sample{ProbesSent: 1}); v != Release {
+		t.Fatalf("clean probed window after streak: verdict %v, want Release", v)
+	}
+	if d.Quarantined(1) {
+		t.Fatal("still quarantined after Release")
+	}
+}
+
+func TestZeroConfigNeverTrips(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 100; i++ {
+		if v := d.Observe(1, Sample{WireErr: 1 << 30}); v != None {
+			t.Fatalf("zero-config detector tripped: %v", v)
+		}
+	}
+}
+
+func TestResetForgetsQuarantine(t *testing.T) {
+	d := New(cfg())
+	for i := 0; i < 3; i++ {
+		d.Observe(1, Sample{WireErr: 10})
+	}
+	d.Reset()
+	if d.Quarantined(1) {
+		t.Fatal("quarantine survived Reset")
+	}
+}
+
+func TestPortsIndependent(t *testing.T) {
+	d := New(cfg())
+	for i := 0; i < 3; i++ {
+		d.Observe(1, Sample{WireErr: 10})
+		d.Observe(2, Sample{})
+	}
+	if !d.Quarantined(1) || d.Quarantined(2) {
+		t.Fatal("per-port state not independent")
+	}
+}

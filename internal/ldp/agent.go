@@ -80,6 +80,11 @@ type portInfo struct {
 	seen     bool
 	host     bool
 	lastSeen time.Duration
+	// quarantined marks a port administratively dead by the
+	// gray-failure detector: the neighbor keeps passing LDP keepalives
+	// (gray failures spare small control frames), but the agent
+	// refuses to revive it until Unquarantine.
+	quarantined bool
 }
 
 // Agent runs LDP for one switch. Not safe for concurrent use; all
@@ -374,9 +379,45 @@ func (a *Agent) ldmPacket() *Packet {
 	return a.ldm
 }
 
+// Quarantine marks a switch-facing port dead regardless of LDP
+// liveness: the gray-failure detector calls it when the data plane
+// drops frames on a link whose keepalives still pass. The port is
+// reported down through the normal PortStatus path (so exclusions and
+// reroutes fire exactly as for a fail-stop loss), and incoming LDMs no
+// longer revive it. Returns false if the port is not an eligible live
+// switch port (host port, never seen, or already quarantined).
+func (a *Agent) Quarantine(port int) bool {
+	p := &a.ports[port]
+	if !p.seen || p.host || p.quarantined || !p.neighbor.Alive {
+		return false
+	}
+	p.quarantined = true
+	p.neighbor.Alive = false
+	a.version++
+	a.jou.Record(obs.NeighborDown, uint64(port), uint64(p.neighbor.ID), 0, a.version)
+	a.env.PortStatus(port, p.neighbor, false)
+	return true
+}
+
+// Unquarantine lifts a quarantine. The port stays down until the next
+// LDM arrives, which revives it through the normal NeighborUp path.
+func (a *Agent) Unquarantine(port int) {
+	a.ports[port].quarantined = false
+}
+
+// Quarantined reports whether port is held down by the detector.
+func (a *Agent) Quarantined(port int) bool { return a.ports[port].quarantined }
+
 // HandleLDP processes an inbound LDP packet.
 func (a *Agent) HandleLDP(port int, pkt *Packet) {
 	p := &a.ports[port]
+	if p.quarantined {
+		// The neighbor is alive at the LDP layer — that is exactly the
+		// gray-failure signature. Track liveness for the eventual
+		// release but do not revive the port.
+		p.lastSeen = a.eng.Now()
+		return
+	}
 	wasHost := p.host
 	p.host = false // switches speak LDP; this cannot be a host port
 	now := a.eng.Now()

@@ -195,27 +195,35 @@ type ThroughputGap struct {
 
 // LinkDrops breaks frame loss down by cause, mirroring sim.Link's
 // per-cause counters: queue-tail drops (congestion), LossRate coin
-// drops (injected bit errors), and down-link drops (failures).
+// drops (injected bit errors), gray-failure drops (partial loss on an
+// administratively-up link), and down-link drops (failures).
 // Aggregations over a fabric sum these per link.
 type LinkDrops struct {
+	// Queue counts drop-tail losses at a sender's egress queue.
 	Queue int64
-	Loss  int64
-	Down  int64
+	// Loss counts frames discarded by the random LossRate coin.
+	Loss int64
+	// Gray counts frames discarded by an injected gray failure while
+	// the link stayed administratively up.
+	Gray int64
+	// Down counts frames discarded because the link was down.
+	Down int64
 }
 
 // Total returns all drops regardless of cause.
-func (d LinkDrops) Total() int64 { return d.Queue + d.Loss + d.Down }
+func (d LinkDrops) Total() int64 { return d.Queue + d.Loss + d.Gray + d.Down }
 
 // Add accumulates another counter block.
 func (d *LinkDrops) Add(o LinkDrops) {
 	d.Queue += o.Queue
 	d.Loss += o.Loss
+	d.Gray += o.Gray
 	d.Down += o.Down
 }
 
 // String renders the breakdown compactly.
 func (d LinkDrops) String() string {
-	return fmt.Sprintf("drops=%d (queue=%d loss=%d down=%d)", d.Total(), d.Queue, d.Loss, d.Down)
+	return fmt.Sprintf("drops=%d (queue=%d loss=%d gray=%d down=%d)", d.Total(), d.Queue, d.Loss, d.Gray, d.Down)
 }
 
 // Summary holds descriptive statistics of a sample set.

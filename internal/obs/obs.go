@@ -130,6 +130,45 @@ const (
 	// Takeover: the warm standby promoted itself. A=new epoch.
 	Takeover
 
+	// GrayOnset: the harness injected a gray failure on a blueprint
+	// link. A=link index, B=loss toward endpoint A in ppm, C=loss
+	// toward endpoint B in ppm.
+	GrayOnset
+	// GrayCleared: the harness removed a gray failure. A=link index.
+	GrayCleared
+	// GrayDetected: a switch's gray-failure detector quarantined a
+	// port. A=port, B=peer switch ID, C=wire errors in the tripping
+	// window, D=probes lost in the window.
+	GrayDetected
+	// GrayReleased: a quarantined port proved clean and was released.
+	// A=port, B=peer switch ID.
+	GrayReleased
+	// MgrGrayReport: the manager received a gray-failure report.
+	// A=reporting switch ID, B=port, C=wire errors, D=1 if the
+	// reporter quarantined the port.
+	MgrGrayReport
+	// ScenarioStart: a fault scenario began. A=scenario tag
+	// (faults.Tag), B=number of scheduled events.
+	ScenarioStart
+	// ScenarioEnd: the last event of a fault scenario recovered.
+	// A=scenario tag.
+	ScenarioEnd
+	// FlapDown: a flap cycle took a link down. A=link index, B=cycle.
+	FlapDown
+	// FlapUp: a flap cycle restored a link. A=link index, B=cycle.
+	FlapUp
+	// FaultApplied: a faults.Schedule event fired its failure actions.
+	// A=event index, B=links failed, C=switches crashed, D=1 if the
+	// manager was killed.
+	FaultApplied
+	// FaultRecovered: a faults.Schedule event fired its recovery
+	// actions. Args as FaultApplied.
+	FaultRecovered
+	// MgrHostReplay: the manager replayed one host registry record to
+	// a rebooted edge switch (ctrlmsg.HostInstall). A=edge switch ID,
+	// B=host IPv4 packed big-endian.
+	MgrHostReplay
+
 	numKinds // internal bound; keep last
 )
 
@@ -167,6 +206,18 @@ var kindNames = [numKinds]string{
 	MgrKilled:       "mgr-killed",
 	MgrRestarted:    "mgr-restarted",
 	Takeover:        "takeover",
+	GrayOnset:       "gray-onset",
+	GrayCleared:     "gray-cleared",
+	GrayDetected:    "gray-detected",
+	GrayReleased:    "gray-released",
+	MgrGrayReport:   "mgr-gray-report",
+	ScenarioStart:   "scenario-start",
+	ScenarioEnd:     "scenario-end",
+	FlapDown:        "flap-down",
+	FlapUp:          "flap-up",
+	FaultApplied:    "fault-applied",
+	FaultRecovered:  "fault-recovered",
+	MgrHostReplay:   "mgr-host-replay",
 }
 
 // String returns the kind's stable wire name (used in reports).
@@ -241,8 +292,26 @@ func (e Event) Text() string {
 		return fmt.Sprintf("epoch=%d switches=%d", e.A, e.B)
 	case MgrResyncDone, MgrRestarted, Takeover:
 		return fmt.Sprintf("epoch=%d", e.A)
-	case LinkFailed, LinkRestored:
+	case LinkFailed, LinkRestored, GrayCleared:
 		return fmt.Sprintf("link=%d", e.A)
+	case GrayOnset:
+		return fmt.Sprintf("link=%d toA=%dppm toB=%dppm", e.A, e.B, e.C)
+	case GrayDetected:
+		return fmt.Sprintf("port=%d peer=%d errs=%d probes_lost=%d", e.A, e.B, e.C, e.D)
+	case GrayReleased:
+		return fmt.Sprintf("port=%d peer=%d", e.A, e.B)
+	case MgrGrayReport:
+		return fmt.Sprintf("switch=%d port=%d errs=%d quarantined=%d", e.A, e.B, e.C, e.D)
+	case ScenarioStart:
+		return fmt.Sprintf("tag=%d events=%d", e.A, e.B)
+	case ScenarioEnd:
+		return fmt.Sprintf("tag=%d", e.A)
+	case FlapDown, FlapUp:
+		return fmt.Sprintf("link=%d cycle=%d", e.A, e.B)
+	case FaultApplied, FaultRecovered:
+		return fmt.Sprintf("event=%d links=%d switches=%d mgr=%d", e.A, e.B, e.C, e.D)
+	case MgrHostReplay:
+		return fmt.Sprintf("edge=%d ip=%d.%d.%d.%d", e.A, e.B>>24&0xff, e.B>>16&0xff, e.B>>8&0xff, e.B&0xff)
 	case SwitchFailed, SwitchRecovered, MgrKilled:
 		return ""
 	}

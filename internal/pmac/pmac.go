@@ -106,6 +106,21 @@ func (t *Table) Assign(amac ether.Addr, port uint8) (PMAC, bool) {
 	return p, true
 }
 
+// Install records an explicit AMAC↔PMAC mapping, as replayed by the
+// fabric manager to a rebooted edge (ctrlmsg.HostInstall). The VMID
+// counter advances past the installed VMID so later Assign calls on
+// the same port never collide with replayed mappings.
+func (t *Table) Install(amac ether.Addr, p PMAC) {
+	if old, ok := t.byAMAC[amac]; ok {
+		delete(t.byPMAC, old.Addr())
+	}
+	t.byAMAC[amac] = p
+	t.byPMAC[p.Addr()] = amac
+	if next := t.nextVMID[p.Port]; p.VMID >= next {
+		t.nextVMID[p.Port] = p.VMID + 1
+	}
+}
+
 // LookupAMAC returns the PMAC previously assigned to amac.
 func (t *Table) LookupAMAC(amac ether.Addr) (PMAC, bool) {
 	p, ok := t.byAMAC[amac]

@@ -1,0 +1,165 @@
+package pswitch
+
+import (
+	"portland/internal/ctrlmsg"
+	"portland/internal/ether"
+	"portland/internal/graydetect"
+	"portland/internal/ldp"
+	"portland/internal/obs"
+)
+
+// Shared immutable probe payloads: one byte discriminating request
+// from reply. Probes ride pooled frames; the payload itself is never
+// mutated, so every probe on every switch shares these two values.
+var (
+	probeReqPayload   = ether.Raw{0}
+	probeReplyPayload = ether.Raw{1}
+)
+
+// detPortState is the switch-local accounting behind one port's
+// detector samples: counter snapshots from the previous window and
+// cumulative probe bookkeeping.
+type detPortState struct {
+	lastWire    int64 // LossDrops+GrayDrops of the rx direction
+	lastQueue   int64
+	sent        int64 // cumulative probes sent
+	replies     int64 // cumulative probe replies received
+	lastSent    int64
+	lastMissing int64 // sent-replies at the previous window edge
+}
+
+// SetDetector arms the gray-failure detector with cfg. Must be called
+// before Start; a zero cfg (Interval 0) leaves the detector off and
+// the switch byte-identical to a build without one.
+func (s *Switch) SetDetector(cfg graydetect.Config) {
+	s.detCfg = cfg
+	s.det = graydetect.New(cfg)
+}
+
+// startDetector arms the sampling ticker (called from Start).
+func (s *Switch) startDetector() {
+	if s.detCfg.Interval <= 0 {
+		return
+	}
+	if s.detPorts == nil {
+		s.detPorts = make(map[int]*detPortState)
+	}
+	s.detTicker = s.eng.NewTicker(s.detCfg.Interval, s.detCfg.Interval, s.detectTick)
+}
+
+// stopDetector halts sampling and forgets all window state (Fail).
+func (s *Switch) stopDetector() {
+	if s.detTicker != nil {
+		s.detTicker.Stop()
+		s.detTicker = nil
+	}
+	if s.det != nil {
+		s.det.Reset()
+	}
+	for k := range s.detPorts {
+		delete(s.detPorts, k)
+	}
+}
+
+// detectTick closes one sampling window: for every switch-facing port
+// it computes the window's wire-error and probe deltas from the rx
+// direction of the link, feeds them to the detector, executes any
+// verdict through the LDP quarantine path (so exclusion and rerouting
+// fire exactly as for a missed-LDM death), and finally launches the
+// next window's probe.
+func (s *Switch) detectTick() {
+	if s.failed || !s.resolved {
+		return
+	}
+	for port, l := range s.links {
+		if l == nil {
+			continue
+		}
+		n, ok := s.agent.Neighbor(port)
+		if !ok {
+			continue // host-facing or never-seen port
+		}
+		st := s.detPorts[port]
+		if st == nil {
+			st = &detPortState{}
+			s.detPorts[port] = st
+		}
+		rx := l.RxStats(s)
+		wire := rx.LossDrops + rx.GrayDrops
+		missing := st.sent - st.replies
+		sample := graydetect.Sample{
+			WireErr:    wire - st.lastWire,
+			QueueDrops: rx.QueueDrops - st.lastQueue,
+			ProbesSent: st.sent - st.lastSent,
+			ProbesLost: missing - st.lastMissing,
+		}
+		if sample.ProbesLost < 0 {
+			sample.ProbesLost = 0 // late replies from an earlier window
+		}
+		st.lastWire = wire
+		st.lastQueue = rx.QueueDrops
+		st.lastSent = st.sent
+		st.lastMissing = missing
+		switch s.det.Observe(port, sample) {
+		case graydetect.Quarantine:
+			if s.agent.Quarantine(port) {
+				s.jou.Record(obs.GrayDetected, uint64(port), uint64(n.ID),
+					uint64(sample.WireErr), uint64(sample.ProbesLost))
+				s.sendCtrl(s.grayReport(port, n, sample, true))
+			}
+		case graydetect.Release:
+			s.agent.Unquarantine(port)
+			s.jou.Record(obs.GrayReleased, uint64(port), uint64(n.ID), 0, 0)
+			s.sendCtrl(s.grayReport(port, n, sample, false))
+		}
+		if s.detCfg.Probes {
+			s.sendProbe(port, st)
+		}
+	}
+}
+
+// sendProbe emits one probe request out port. Quarantined ports are
+// probed too — lost replies keep the quarantine armed, clean replies
+// are the only evidence that can release it.
+func (s *Switch) sendProbe(port int, st *detPortState) {
+	f := s.pool.Get()
+	f.Dst, f.Src, f.Type, f.Payload = ether.Broadcast, s.ldpSrc, ether.TypeProbe, probeReqPayload
+	st.sent++
+	s.Stats.ProbesSent++
+	s.send(port, f)
+}
+
+// handleProbe answers probe requests and accounts replies. Probes are
+// ordinary data frames on the wire (subject to gray loss — the point),
+// but they never touch the forwarding path: a request turns around on
+// the arrival port, a reply only feeds the detector's counters.
+func (s *Switch) handleProbe(port int, f *ether.Frame) {
+	raw, ok := f.Payload.(ether.Raw)
+	isReq := ok && len(raw) > 0 && raw[0] == probeReqPayload[0]
+	s.pool.Put(f)
+	if !ok {
+		return
+	}
+	if isReq {
+		r := s.pool.Get()
+		r.Dst, r.Src, r.Type, r.Payload = ether.Broadcast, s.ldpSrc, ether.TypeProbe, probeReplyPayload
+		s.Stats.ProbeReplies++
+		s.send(port, r)
+		return
+	}
+	if st := s.detPorts[port]; st != nil {
+		st.replies++
+	}
+}
+
+// grayReport assembles the report message for the fabric manager.
+func (s *Switch) grayReport(port int, n ldp.Neighbor, sample graydetect.Sample, quarantined bool) ctrlmsg.GrayReport {
+	return ctrlmsg.GrayReport{
+		Switch:      s.id,
+		Port:        uint8(port),
+		PeerID:      n.ID,
+		WireErrs:    uint64(sample.WireErr),
+		ProbesLost:  uint64(sample.ProbesLost),
+		Quarantined: quarantined,
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"portland/internal/ctrlnet"
 	"portland/internal/ether"
 	"portland/internal/flowtable"
+	"portland/internal/graydetect"
 	"portland/internal/ldp"
 	"portland/internal/obs"
 	"portland/internal/pmac"
@@ -40,6 +41,8 @@ type Counters struct {
 	GratuitousSent  int64 // migration-invalidation gratuitous ARPs
 	DHCPPunts       int64 // host Discovers punted to the fabric manager
 	DHCPProxied     int64 // Acks synthesized from manager answers
+	ProbesSent      int64 // gray-detector probe requests transmitted
+	ProbeReplies    int64 // probe requests answered (receiver side)
 }
 
 type pendingARP struct {
@@ -111,6 +114,14 @@ type Switch struct {
 	// upward (value: source flag). Both replay on StateSyncRequest.
 	leases map[ether.Addr]netip.Addr
 	joins  map[joinKey]bool
+
+	// Gray-failure detector (off unless SetDetector armed it): the
+	// windowed decision logic, its sampling ticker, and per-port
+	// counter snapshots. See detector.go.
+	detCfg    graydetect.Config
+	det       *graydetect.Detector
+	detTicker *sim.Ticker
+	detPorts  map[int]*detPortState
 
 	failed bool
 
@@ -189,6 +200,7 @@ func (s *Switch) flushFlows() {
 func (s *Switch) Start() {
 	s.sendCtrl(ctrlmsg.Hello{Switch: s.id})
 	s.agent.Start()
+	s.startDetector()
 }
 
 // Fail drops the switch out of the network: it stops speaking LDP,
@@ -197,6 +209,7 @@ func (s *Switch) Start() {
 func (s *Switch) Fail() {
 	s.failed = true
 	s.agent.Stop()
+	s.stopDetector()
 	s.jou.Record(obs.SwitchFailed, 0, 0, 0, 0)
 }
 
@@ -282,6 +295,10 @@ func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 			s.agent.HandleLDP(port, p)
 		}
 		s.pool.Put(f)
+		return
+	}
+	if f.Type == ether.TypeProbe {
+		s.handleProbe(port, f)
 		return
 	}
 	s.agent.NoteDataFrame(port)
@@ -437,6 +454,13 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 		s.mcast[v.Group] = ports
 	case ctrlmsg.MigrationUpdate:
 		s.handleMigrationUpdate(v)
+	case ctrlmsg.HostInstall:
+		// Registry replay after a reboot: re-seed the PMAC table so
+		// hosts that never transmit (pure receivers) are deliverable
+		// again without waiting for ingress learning that may never
+		// come.
+		s.table.Install(v.AMAC, pmac.FromAddr(v.PMAC))
+		s.ipOf[v.AMAC] = v.IP
 	case ctrlmsg.DHCPAnswer:
 		s.handleDHCPAnswer(v)
 	case ctrlmsg.StateSyncRequest:
@@ -489,8 +513,12 @@ func (s *Switch) handleMigrationUpdate(v ctrlmsg.MigrationUpdate) {
 	s.flushFlows()
 	s.migrated[v.OldPMAC] = migrationEntry{ip: v.IP, newPMAC: v.NewPMAC}
 	// Drop the stale local mapping so the old PMAC is no longer
-	// deliverable here.
-	if amac, ok := s.table.LookupPMAC(v.OldPMAC); ok {
+	// deliverable here — but only when the mapping actually belongs to
+	// the migrating host. The manager keeps reissued PMACs disjoint
+	// from outstanding ones, so a same-address mapping for a different
+	// IP means this invalidation is stale and must not take down a
+	// live host.
+	if amac, ok := s.table.LookupPMAC(v.OldPMAC); ok && s.ipOf[amac] == v.IP {
 		s.table.Remove(amac)
 		delete(s.ipOf, amac)
 	}

@@ -43,6 +43,26 @@ var DefaultLinkConfig = LinkConfig{
 	QueueFrames: 128,
 }
 
+// DirStats counts one direction's per-cause outcomes. A receiver that
+// samples the stats of the direction delivering to it sees exactly
+// what its NIC would count: frames that made it (Delivered) and frames
+// corrupted on the wire (LossDrops, GrayDrops). QueueDrops happen at
+// the sender's egress and DownDrops only while the link is
+// administratively down — neither is a wire error.
+type DirStats struct {
+	// Delivered counts frames handed to this direction's receiver.
+	Delivered int64
+	// QueueDrops counts drop-tail losses at the sender's egress queue.
+	QueueDrops int64
+	// LossDrops counts frames discarded by the random LossRate coin.
+	LossDrops int64
+	// GrayDrops counts frames discarded by the gray-failure rate set
+	// via SetGrayLoss while the link stayed administratively up.
+	GrayDrops int64
+	// DownDrops counts frames discarded because the link was down.
+	DownDrops int64
+}
+
 // Link is a full-duplex point-to-point link between two node ports.
 // Each direction has an independent transmitter with a FIFO drop-tail
 // queue; a frame occupies the transmitter for size/rate seconds and is
@@ -73,6 +93,10 @@ type Link struct {
 	QueueDrops int64
 	// LossDrops counts frames discarded by the random LossRate coin.
 	LossDrops int64
+	// GrayDrops counts frames discarded by a per-direction gray-loss
+	// rate (SetGrayLoss) while the link stayed administratively up —
+	// the failure mode LDP keepalives cannot see.
+	GrayDrops int64
 	// DownDrops counts frames discarded because the link was down,
 	// either at send time or while in flight.
 	DownDrops int64
@@ -97,6 +121,15 @@ type direction struct {
 	toB       bool // this direction delivers to endpoint b
 	busyUntil time.Duration
 	queued    int // frames in the ring == scheduled, undelivered
+
+	// grayRate drops each non-LDP frame independently with this
+	// probability while the link is up. LDP keepalives are tiny and
+	// survive the corruption modes gray failures model (dirty optics,
+	// shallow-buffer ASIC faults), so they pass — exactly the
+	// liveness-protocol blind spot the detector exists for.
+	grayRate float64
+	// stats is this direction's per-cause outcome tally.
+	stats DirStats
 
 	// inflight is a circular buffer of queued frames; head indexes the
 	// oldest. Capacity grows on demand and is reused thereafter, so
@@ -150,6 +183,37 @@ func (l *Link) SetUp(up bool) {
 	l.up = up
 }
 
+// dirTo returns the direction that delivers frames to n.
+func (l *Link) dirTo(n Node) *direction {
+	switch n {
+	case l.b.node:
+		return &l.ab
+	case l.a.node:
+		return &l.ba
+	default:
+		panic(fmt.Sprintf("sim: node %s not on link %s", n.Name(), l))
+	}
+}
+
+// SetGrayLoss injects (or clears, with rate 0) a gray failure: each
+// direction independently drops the given fraction of non-LDP frames
+// while the link remains administratively up. rateToA applies to
+// frames delivered toward the endpoint passed first to Connect,
+// rateToB toward the second.
+func (l *Link) SetGrayLoss(rateToA, rateToB float64) {
+	l.ba.grayRate = rateToA
+	l.ab.grayRate = rateToB
+}
+
+// GrayLoss reports the current gray-loss rates (toward a, toward b).
+func (l *Link) GrayLoss() (rateToA, rateToB float64) {
+	return l.ba.grayRate, l.ab.grayRate
+}
+
+// RxStats returns the per-cause counters of the direction delivering
+// to n — what n's NIC would observe on this port.
+func (l *Link) RxStats(n Node) DirStats { return l.dirTo(n).stats }
+
 // Peer returns the node and port on the far side from n.
 func (l *Link) Peer(n Node) (Node, int) {
 	if l.a.node == n {
@@ -185,18 +249,33 @@ func (l *Link) Send(from Node, f *ether.Frame) {
 	if !l.up {
 		l.Drops++
 		l.DownDrops++
+		dir.stats.DownDrops++
 		l.eng.pool.Put(f)
 		return
 	}
-	if dir.queued >= l.cfg.QueueFrames {
+	// LDP keepalives ride a strict-priority control class that is never
+	// tail-dropped: real switches schedule control traffic above the
+	// data class, so congestion must not masquerade as a dead neighbor.
+	// (Detector probes deliberately stay in the data class — they exist
+	// to experience what data experiences.)
+	if dir.queued >= l.cfg.QueueFrames && f.Type != ether.TypeLDP {
 		l.Drops++
 		l.QueueDrops++
+		dir.stats.QueueDrops++
 		l.eng.pool.Put(f)
 		return
 	}
 	if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
 		l.Drops++
 		l.LossDrops++
+		dir.stats.LossDrops++
+		l.eng.pool.Put(f)
+		return
+	}
+	if dir.grayRate > 0 && f.Type != ether.TypeLDP && l.eng.Rand().Float64() < dir.grayRate {
+		l.Drops++
+		l.GrayDrops++
+		dir.stats.GrayDrops++
 		l.eng.pool.Put(f)
 		return
 	}
@@ -222,10 +301,12 @@ func (l *Link) deliver(dir *direction) {
 	if !l.up { // failed while in flight
 		l.Drops++
 		l.DownDrops++
+		dir.stats.DownDrops++
 		l.eng.pool.Put(f)
 		return
 	}
 	l.Delivered++
+	dir.stats.Delivered++
 	if l.Tap != nil {
 		l.Tap(f)
 	}
