@@ -17,7 +17,9 @@
 //	benchjson -diff old.json new.json
 //
 // prints a per-benchmark comparison of ns/op and allocs/op between two
-// baselines (matching names with the -GOMAXPROCS suffix stripped), and
+// baselines (matching names with the -GOMAXPROCS suffix stripped),
+// with a shards column for benchmarks that report an engine-shard
+// count, and
 //
 //	go test -bench ... -benchmem | benchjson -assert-zero-allocs 'regexp'
 //
@@ -55,9 +57,15 @@ type benchmark struct {
 }
 
 type report struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the effective parallelism bound of the run that
+	// produced the baseline; NumCPU is the host's core count. Recorded
+	// so multi-shard numbers (see the per-benchmark `shards` and
+	// `workers` metrics) can be read honestly: a sharded benchmark on
+	// a single-core host measures partition overhead, not speedup.
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
@@ -70,6 +78,8 @@ func main() {
 		"baseline JSON to gate stdin's bench output against; exit 1 on regression")
 	gateTol := flag.Float64("gate-tolerance", 0.30,
 		"fractional ns/op increase tolerated by -gate before failing")
+	gateAllocTol := flag.Float64("gate-alloc-tolerance", 0,
+		"fractional allocs/op increase tolerated by -gate (default 0: any increase fails; boot-scale benchmarks jitter by a few ppm)")
 	flag.Parse()
 
 	if *diff {
@@ -97,6 +107,7 @@ func main() {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -118,7 +129,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		compared, bad := gateViolations(base.Benchmarks, rep.Benchmarks, *gateTol)
+		compared, bad := gateViolations(base.Benchmarks, rep.Benchmarks, *gateTol, *gateAllocTol)
 		if compared == 0 {
 			fmt.Fprintf(os.Stderr, "gate: no benchmark in common with %s (gate misconfigured?)\n", *gate)
 			os.Exit(1)
@@ -212,11 +223,14 @@ func zeroAllocViolations(benches []benchmark, re *regexp.Regexp) (matched int, b
 // gateViolations compares fresh results against a baseline by
 // normalized name. A benchmark regresses when its ns/op exceeds the
 // baseline by more than tol (fractional), or when its allocs/op
-// exceeds the baseline at all. Benchmarks present on only one side are
+// exceeds the baseline by more than allocTol (zero for the
+// microbenchmark gate, where allocation counts are exactly
+// deterministic; a few percent for boot-scale runs, whose counts
+// jitter with map growth and stack resizing). Benchmarks present on only one side are
 // ignored — adding or retiring a benchmark must not trip the gate —
 // but compared reports how many lined up so a baseline that matches
 // nothing fails loudly instead of vacuously passing.
-func gateViolations(base, fresh []benchmark, tol float64) (compared int, bad []string) {
+func gateViolations(base, fresh []benchmark, tol, allocTol float64) (compared int, bad []string) {
 	baseBy := make(map[string]benchmark, len(base))
 	for _, b := range base {
 		baseBy[normName(b.Name)] = b
@@ -232,9 +246,9 @@ func gateViolations(base, fresh []benchmark, tol float64) (compared int, bad []s
 			bad = append(bad, fmt.Sprintf("%s ns/op %.1f exceeds baseline %.1f by %+.1f%% (tolerance %.0f%%)",
 				normName(nb.Name), newNs, oldNs, (newNs-oldNs)/oldNs*100, tol*100))
 		}
-		if oldA, newA := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]; newA > oldA {
-			bad = append(bad, fmt.Sprintf("%s allocs/op rose %g -> %g (no tolerance for alloc regressions)",
-				normName(nb.Name), oldA, newA))
+		if oldA, newA := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]; newA > oldA*(1+allocTol) {
+			bad = append(bad, fmt.Sprintf("%s allocs/op rose %g -> %g (tolerance %.1f%%)",
+				normName(nb.Name), oldA, newA, allocTol*100))
 		}
 	}
 	return compared, bad
@@ -249,15 +263,15 @@ func diffLines(oldRep, newRep report) []string {
 		oldBy[normName(b.Name)] = b
 	}
 	seen := make(map[string]bool)
-	out := []string{fmt.Sprintf("%-52s %12s %12s %8s  %10s %10s",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")}
+	out := []string{fmt.Sprintf("%-52s %6s %12s %12s %8s  %10s %10s",
+		"benchmark", "shards", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")}
 	for _, nb := range newRep.Benchmarks {
 		name := normName(nb.Name)
 		seen[name] = true
 		ob, ok := oldBy[name]
 		if !ok {
-			out = append(out, fmt.Sprintf("%-52s %12s %12.1f %8s  %10s %10g",
-				name, "-", nb.Metrics["ns/op"], "added", "-", nb.Metrics["allocs/op"]))
+			out = append(out, fmt.Sprintf("%-52s %6s %12s %12.1f %8s  %10s %10g",
+				name, shardsCol(nb), "-", nb.Metrics["ns/op"], "added", "-", nb.Metrics["allocs/op"]))
 			continue
 		}
 		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
@@ -265,17 +279,28 @@ func diffLines(oldRep, newRep report) []string {
 		if oldNs > 0 {
 			delta = fmt.Sprintf("%+.1f%%", (newNs-oldNs)/oldNs*100)
 		}
-		out = append(out, fmt.Sprintf("%-52s %12.1f %12.1f %8s  %10g %10g",
-			name, oldNs, newNs, delta, ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
+		out = append(out, fmt.Sprintf("%-52s %6s %12.1f %12.1f %8s  %10g %10g",
+			name, shardsCol(nb), oldNs, newNs, delta, ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
 	}
 	for _, ob := range oldRep.Benchmarks {
 		name := normName(ob.Name)
 		if !seen[name] {
-			out = append(out, fmt.Sprintf("%-52s %12.1f %12s %8s  %10g %10s",
-				name, ob.Metrics["ns/op"], "-", "removed", ob.Metrics["allocs/op"], "-"))
+			out = append(out, fmt.Sprintf("%-52s %6s %12.1f %12s %8s  %10g %10s",
+				name, shardsCol(ob), ob.Metrics["ns/op"], "-", "removed", ob.Metrics["allocs/op"], "-"))
 		}
 	}
 	return out
+}
+
+// shardsCol renders the benchmark's reported engine-shard count, "-"
+// for benchmarks that do not report one (everything but the sharded
+// boot family).
+func shardsCol(b benchmark) string {
+	v, ok := b.Metrics["shards"]
+	if !ok {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
 // parseLine extracts one benchmark result; ok is false for any line

@@ -107,19 +107,23 @@ func TestGateViolations(t *testing.T) {
 		{Name: "BenchmarkNew-16", Metrics: map[string]float64{"ns/op": 9999, "allocs/op": 50}},
 	}
 	// 25% slower A sits inside a 30% band; B's alloc rise always fails.
-	compared, bad := gateViolations(base, fresh, 0.30)
+	compared, bad := gateViolations(base, fresh, 0.30, 0)
 	if compared != 2 {
 		t.Fatalf("compared %d, want 2 (added/removed benchmarks are ignored)", compared)
 	}
 	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkB allocs/op rose 2 -> 3") {
 		t.Fatalf("violations %v, want only B's alloc regression", bad)
 	}
+	// An alloc-tolerance band admits B's rise (boot-scale jitter).
+	if _, bad := gateViolations(base, fresh, 0.30, 0.50); len(bad) != 0 {
+		t.Fatalf("violations %v, want none inside the alloc band", bad)
+	}
 	// A tighter band turns A's slowdown into a failure too.
-	if _, bad := gateViolations(base, fresh, 0.10); len(bad) != 2 {
+	if _, bad := gateViolations(base, fresh, 0.10, 0); len(bad) != 2 {
 		t.Fatalf("violations %v, want A's ns/op and B's allocs", bad)
 	}
 	// An improvement never trips the gate.
-	if _, bad := gateViolations(base, base, 0); len(bad) != 0 {
+	if _, bad := gateViolations(base, base, 0, 0); len(bad) != 0 {
 		t.Fatalf("identical runs reported %v", bad)
 	}
 }

@@ -11,6 +11,7 @@
 //	portland-bench -quick          # reduced trial counts (CI-sized)
 //	portland-bench -parallel 4     # worker-pool size (0 = GOMAXPROCS)
 //	portland-bench -serial         # force one worker (escape hatch)
+//	portland-bench -shards 8       # engine shards per fabric (same output)
 //	portland-bench -cpuprofile cpu.prof -memprofile mem.prof
 //	portland-bench -reports out/   # also write <id>-report.json per experiment
 package main
@@ -51,6 +52,7 @@ func run() int {
 		quick      = flag.Bool("quick", false, "reduced trial counts")
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		serial     = flag.Bool("serial", false, "run sweeps on one worker (same output, for bisecting)")
+		shards     = flag.Int("shards", 0, "engine shards per fabric (0/1 = serial); output is byte-identical at every value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		reports    = flag.String("reports", "", "directory for per-experiment <id>-report.json files")
@@ -62,6 +64,7 @@ func run() int {
 	} else {
 		runner.SetWorkers(*parallel)
 	}
+	experiments.SetDefaultShards(*shards)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

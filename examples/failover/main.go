@@ -28,14 +28,14 @@ func main() {
 	inner := fabric.Internal()
 	hosts := fabric.Hosts()
 	src, dst := hosts[0], hosts[len(hosts)-1]
-	flow := workload.StartCBR(inner.Eng, src, dst, 20000, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 20000, time.Millisecond, 128)
 	fabric.RunFor(500 * time.Millisecond)
 	fmt.Printf("flow %s → %s warmed up: %d probes delivered\n", src.Name(), dst.Name(), flow.RX.Len())
 
 	// Find the agg-core link actually carrying the flow.
 	base := make([]int64, len(inner.Links))
 	for i, l := range inner.Links {
-		base[i] = l.Delivered
+		base[i] = l.Delivered()
 	}
 	fabric.RunFor(100 * time.Millisecond)
 	best, bestDelta := -1, int64(0)
@@ -46,7 +46,7 @@ func main() {
 		if !(agg && core) {
 			continue
 		}
-		if d := inner.Links[i].Delivered - base[i]; d > bestDelta {
+		if d := inner.Links[i].Delivered() - base[i]; d > bestDelta {
 			bestDelta, best = d, i
 		}
 	}

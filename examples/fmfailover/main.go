@@ -37,7 +37,7 @@ func main() {
 	// cold-probe pair also exchanges one datagram now, so the edge
 	// registers both hosts pre-crash and the pre/post snapshots
 	// compare the same registry.
-	warm := workload.StartCBR(inner.Eng, hosts[0], hosts[15], 20000, time.Millisecond, 128)
+	warm := workload.StartCBR(hosts[0], hosts[15], 20000, time.Millisecond, 128)
 	hosts[2].Endpoint().BindUDP(7100, func(netip.Addr, uint16, ether.Payload) {})
 	hosts[13].Endpoint().SendUDP(hosts[2].IP(), 7100, 7100, 64)
 	fabric.RunFor(500 * time.Millisecond)

@@ -54,14 +54,14 @@ func main() {
 	// Fail the busiest aggregation-core link (part of the tree).
 	base := make([]int64, len(inner.Links))
 	for i, l := range inner.Links {
-		base[i] = l.Delivered
+		base[i] = l.Delivered()
 	}
 	fabric.RunFor(100 * time.Millisecond)
 	best, bestDelta := -1, int64(0)
 	for i, ls := range inner.Spec.Links {
 		a, b := inner.Spec.Nodes[ls.A.Node], inner.Spec.Nodes[ls.B.Node]
 		if (a.Level == topo.Aggregation && b.Level == topo.Core) || (a.Level == topo.Core && b.Level == topo.Aggregation) {
-			if d := inner.Links[i].Delivered - base[i]; d > bestDelta {
+			if d := inner.Links[i].Delivered() - base[i]; d > bestDelta {
 				bestDelta, best = d, i
 			}
 		}

@@ -171,7 +171,7 @@ func TestBaselineFailureRecoveryIsSlow(t *testing.T) {
 	// pick the busiest switch-switch link.
 	base := make([]int64, len(f.Links))
 	for i, l := range f.Links {
-		base[i] = l.Delivered
+		base[i] = l.Delivered()
 	}
 	f.RunFor(100 * time.Millisecond)
 	best, bestDelta := -1, int64(0)
@@ -179,7 +179,7 @@ func TestBaselineFailureRecoveryIsSlow(t *testing.T) {
 		if f.Spec.Nodes[ls.A.Node].Level == topo.Host || f.Spec.Nodes[ls.B.Node].Level == topo.Host {
 			continue
 		}
-		if d := f.Links[i].Delivered - base[i]; d > bestDelta {
+		if d := f.Links[i].Delivered() - base[i]; d > bestDelta {
 			bestDelta, best = d, i
 		}
 	}

@@ -41,7 +41,7 @@ func BuildFabric(spec *topo.Spec, seed uint64, link sim.LinkConfig, cfg Config) 
 	for _, n := range spec.Nodes {
 		f.byName[n.Name] = n.ID
 		if n.Level == topo.Host {
-			f.Hosts[n.ID] = host.New(f.Eng, n.Name, topo.HostMAC(hostIdx), topo.HostIP(hostIdx))
+			f.Hosts[n.ID] = host.New(f.Eng.NewProc(), n.Name, topo.HostMAC(hostIdx), topo.HostIP(hostIdx))
 			hostIdx++
 			continue
 		}

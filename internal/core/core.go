@@ -57,6 +57,15 @@ type Options struct {
 	// Detect arms every switch's gray-failure detector (default: off,
 	// Interval 0 — byte-identical behavior to a build without one).
 	Detect graydetect.Config
+	// Shards partitions the fabric across engine shards: shard 0 holds
+	// the core bank and the control plane, the remaining shards each
+	// hold whole pods (see topo.Partition), advancing in lockstep
+	// epochs bounded by the minimum cross-shard link delay. Any value
+	// <= 1 means one shard — and because a one-shard domain runs the
+	// identical code path, a sharded run is byte-identical to the
+	// serial run for the same seed (gated by TestShardIdentity and the
+	// sharded experiment goldens).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +83,14 @@ func (o Options) withDefaults() Options {
 
 // Fabric is a running PortLand deployment.
 type Fabric struct {
+	// Dom is the engine domain the fabric runs on: one shard in the
+	// default serial configuration, Options.Shards in a sharded one.
+	Dom *sim.Domain
+	// Eng is shard 0's engine — the control-plane shard. It is the
+	// clock authority between runs and the home of the experiment
+	// driver's PRNG (Eng.Rand()); driver code that needs mid-run
+	// events must use Sched() instead, which is safe on every shard
+	// layout.
 	Eng     *sim.Engine
 	Spec    *topo.Spec
 	Opts    Options
@@ -110,6 +127,8 @@ type Fabric struct {
 	hbPrimary *ctrlnet.SimConn
 
 	byName map[string]topo.NodeID
+	// engOf maps each blueprint node to the engine shard it lives on.
+	engOf []*sim.Engine
 }
 
 // NewFatTree builds (but does not start) a k-ary fat-tree fabric.
@@ -124,8 +143,11 @@ func NewFatTree(k int, opts Options) (*Fabric, error) {
 // Build wires a fabric from an arbitrary blueprint.
 func Build(spec *topo.Spec, opts Options) *Fabric {
 	opts = opts.withDefaults()
+	assign, nShards := topo.Partition(spec, opts.Shards)
+	dom := sim.NewDomain(opts.Seed, nShards)
 	f := &Fabric{
-		Eng:      sim.New(opts.Seed),
+		Dom:      dom,
+		Eng:      dom.Engine(0),
 		Spec:     spec,
 		Opts:     opts,
 		Manager:  fabricmgr.New(),
@@ -134,6 +156,10 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 		ctrl:     make(map[topo.NodeID]*ctrlPair),
 		byName:   make(map[string]topo.NodeID),
 		Obs:      obs.NewRegistry(),
+		engOf:    make([]*sim.Engine, len(spec.Nodes)),
+	}
+	for _, n := range spec.Nodes {
+		f.engOf[n.ID] = dom.Engine(assign[n.ID])
 	}
 	f.jFabric = f.Obs.Journal("fabric", 128, f.Eng.Now)
 	f.Manager.SetJournal(f.Obs.Journal("mgr", 2048, f.Eng.Now))
@@ -143,23 +169,24 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 	hostIdx := 0
 	for _, n := range spec.Nodes {
 		f.byName[n.Name] = n.ID
+		eng := f.engOf[n.ID]
 		switch n.Level {
 		case topo.Host:
 			mac := HostMAC(hostIdx)
 			ip := HostIP(hostIdx)
 			hostIdx++
-			f.Hosts[n.ID] = host.New(f.Eng, n.Name, mac, ip)
+			f.Hosts[n.ID] = host.New(eng.NewProc(), n.Name, mac, ip)
 		default:
-			sw := pswitch.New(f.Eng, SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
+			sw := pswitch.New(eng.NewProc(), SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
 			sw.SetDetector(opts.Detect)
-			sw.SetJournal(f.Obs.Journal(n.Name, 256, f.Eng.Now))
+			sw.SetJournal(f.Obs.Journal(n.Name, 256, eng.Now))
 			f.Switches[n.ID] = sw
 			f.wireControl(n.ID, sw)
 		}
 	}
 	for _, ls := range spec.Links {
 		an, bn := f.node(ls.A.Node), f.node(ls.B.Node)
-		l := sim.Connect(f.Eng, an, ls.A.Port, bn, ls.B.Port, opts.Link)
+		l := dom.Connect(f.engOf[ls.A.Node], f.engOf[ls.B.Node], an, ls.A.Port, bn, ls.B.Port, opts.Link)
 		if opts.WireCheck {
 			l := l
 			l.Tap = func(frame *ether.Frame) {
@@ -172,6 +199,12 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 	}
 	return f
 }
+
+// Sched returns the fabric-wide scheduling surface: events scheduled
+// through it run with every shard parked at the same instant, so
+// drivers (fault injection, scenario brackets, measurement tickers)
+// may touch any node regardless of the shard layout.
+func (f *Fabric) Sched() sim.Sched { return f.Dom }
 
 // LossyLink returns the default link configuration with a per-frame
 // random loss probability — protocol-robustness tests build fabrics
@@ -208,16 +241,16 @@ func (f *Fabric) Start() {
 	}
 }
 
-// RunFor advances virtual time by d.
-func (f *Fabric) RunFor(d time.Duration) { f.Eng.RunUntil(f.Eng.Now() + d) }
+// RunFor advances virtual time by d across every shard.
+func (f *Fabric) RunFor(d time.Duration) { f.Dom.RunUntil(f.Dom.Now() + d) }
 
 // AwaitDiscovery runs the simulation until every switch has resolved
 // its location, or returns an error at the deadline.
 func (f *Fabric) AwaitDiscovery(limit time.Duration) error {
-	deadline := f.Eng.Now() + limit
+	deadline := f.Dom.Now() + limit
 	step := 5 * time.Millisecond
-	for f.Eng.Now() < deadline {
-		f.Eng.RunUntil(minDur(f.Eng.Now()+step, deadline))
+	for f.Dom.Now() < deadline {
+		f.Dom.RunUntil(minDur(f.Dom.Now()+step, deadline))
 		if f.AllResolved() {
 			return nil
 		}
@@ -379,7 +412,7 @@ func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
 func (f *Fabric) LinkDrops() metrics.LinkDrops {
 	var d metrics.LinkDrops
 	for _, l := range f.Links {
-		d.Add(metrics.LinkDrops{Queue: l.QueueDrops, Loss: l.LossDrops, Gray: l.GrayDrops, Down: l.DownDrops})
+		d.Add(metrics.LinkDrops{Queue: l.QueueDrops(), Loss: l.LossDrops(), Gray: l.GrayDrops(), Down: l.DownDrops()})
 	}
 	return d
 }
@@ -464,9 +497,10 @@ func (f *Fabric) CapturePcap(name string, w io.Writer) (*trace.PcapWriter, error
 	if err != nil {
 		return nil, err
 	}
+	swEng := f.engOf[f.byName[name]]
 	ok := f.TapSwitch(name, func(_ int, frame *ether.Frame, egress bool) {
 		if !egress { // capture each frame once, on ingress
-			_ = pw.WriteFrame(f.Eng.Now(), frame)
+			_ = pw.WriteFrame(swEng.Now(), frame)
 		}
 	})
 	if !ok {

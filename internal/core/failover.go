@@ -13,6 +13,7 @@ import (
 	"portland/internal/fabricmgr"
 	"portland/internal/obs"
 	"portland/internal/pswitch"
+	"portland/internal/sim"
 	"portland/internal/topo"
 )
 
@@ -68,7 +69,7 @@ func (f *Fabric) wrapCtrl(c *ctrlnet.SimConn) ctrlnet.Conn {
 	if f.Opts.CtrlLoss <= 0 {
 		return c
 	}
-	return ctrlnet.NewReliable(f.Eng, c, ctrlnet.ReliableConfig{})
+	return ctrlnet.NewReliable(c.Sched(), c, ctrlnet.ReliableConfig{})
 }
 
 // setCtrlHandler binds the receive function at whichever layer is
@@ -82,8 +83,12 @@ func setCtrlHandler(c ctrlnet.Conn, h ctrlnet.Handler) {
 	}
 }
 
-func (f *Fabric) ctrlPipe() (raw1, raw2 *ctrlnet.SimConn) {
-	return ctrlnet.SimPipeCfg(f.Eng, ctrlnet.PipeConfig{
+// ctrlPipe wires one switch↔manager pipe: the switch end lives on the
+// switch's shard, the manager end on the control shard (0). On a
+// sharded fabric the pipe delay becomes a lookahead bound like any
+// cross-shard link.
+func (f *Fabric) ctrlPipe(swEng *sim.Engine) (raw1, raw2 *ctrlnet.SimConn) {
+	return ctrlnet.SimPipeDom(f.Dom, swEng, f.Eng, ctrlnet.PipeConfig{
 		Delay:    f.Opts.CtrlDelay,
 		LossRate: f.Opts.CtrlLoss,
 	})
@@ -93,7 +98,7 @@ func (f *Fabric) ctrlPipe() (raw1, raw2 *ctrlnet.SimConn) {
 // configured, the standby).
 func (f *Fabric) wireControl(id topo.NodeID, sw *pswitch.Switch) {
 	p := &ctrlPair{}
-	p.swRaw, p.mgrRaw = f.ctrlPipe()
+	p.swRaw, p.mgrRaw = f.ctrlPipe(f.engOf[id])
 	p.swConn, p.mgrConn = f.wrapCtrl(p.swRaw), f.wrapCtrl(p.mgrRaw)
 	setCtrlHandler(p.swConn, sw.HandleCtrl)
 	sess := f.Manager.NewSession(p.mgrConn)
@@ -101,7 +106,7 @@ func (f *Fabric) wireControl(id topo.NodeID, sw *pswitch.Switch) {
 
 	var ctrl ctrlnet.Conn = p.swConn
 	if f.Standby != nil {
-		p.sbSwRaw, p.sbMgrRaw = f.ctrlPipe()
+		p.sbSwRaw, p.sbMgrRaw = f.ctrlPipe(f.engOf[id])
 		p.sbSwConn, p.sbMgrConn = f.wrapCtrl(p.sbSwRaw), f.wrapCtrl(p.sbMgrRaw)
 		setCtrlHandler(p.sbSwConn, sw.HandleCtrl)
 		sbSess := f.Standby.NewSession(p.sbMgrConn)
@@ -119,7 +124,7 @@ func (f *Fabric) wireStandby() {
 	f.Standby = fabricmgr.New()
 	f.Standby.SetPassive(true)
 	f.Standby.SetJournal(f.Obs.Journal("mgr-standby", 2048, f.Eng.Now))
-	hbP, hbS := ctrlnet.SimPipe(f.Eng, f.Opts.CtrlDelay)
+	hbP, hbS := ctrlnet.SimPipeDom(f.Dom, f.Eng, f.Eng, ctrlnet.PipeConfig{Delay: f.Opts.CtrlDelay})
 	f.hbPrimary = hbP
 	hbS.SetHandler(func(m ctrlmsg.Msg) {
 		if _, ok := m.(ctrlmsg.Heartbeat); ok {

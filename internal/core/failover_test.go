@@ -24,7 +24,7 @@ func activeAggCoreLink(t *testing.T, f *Fabric, run time.Duration) int {
 		if an.Level.String() == "host" || bn.Level.String() == "host" {
 			continue
 		}
-		candidates = append(candidates, sample{i, f.Links[i].Delivered})
+		candidates = append(candidates, sample{i, f.Links[i].Delivered()})
 	}
 	f.RunFor(run)
 	best, bestDelta := -1, int64(0)
@@ -37,7 +37,7 @@ func activeAggCoreLink(t *testing.T, f *Fabric, run time.Duration) int {
 		if !isAggCore {
 			continue
 		}
-		if d := f.Links[c.idx].Delivered - c.base; d > bestDelta {
+		if d := f.Links[c.idx].Delivered() - c.base; d > bestDelta {
 			bestDelta, best = d, c.idx
 		}
 	}
@@ -51,7 +51,7 @@ func TestLinkFailureConvergence(t *testing.T) {
 	f := buildK4(t)
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1] // distinct pods
-	flow := workload.StartCBR(f.Eng, src, dst, 21000, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 21000, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond) // warm ARP + steady state
 
 	link := activeAggCoreLink(t, f, 200*time.Millisecond)
@@ -94,7 +94,7 @@ func TestSwitchFailureConvergence(t *testing.T) {
 	f := buildK4(t)
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1]
-	flow := workload.StartCBR(f.Eng, src, dst, 21001, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 21001, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	// Crash a core switch; ECMP must shift flows to surviving cores.
@@ -122,7 +122,7 @@ func TestIntraPodLinkFailure(t *testing.T) {
 	// Intra-pod flow between the two edges of pod 0.
 	src := f.HostByName("host-p0-e0-h0")
 	dst := f.HostByName("host-p0-e1-h0")
-	flow := workload.StartCBR(f.Eng, src, dst, 21002, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 21002, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	// Fail one edge-agg link inside pod 0 on the destination side.

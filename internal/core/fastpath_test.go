@@ -162,7 +162,7 @@ func TestPooledFrameOwnership(t *testing.T) {
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	workload.PairCBRs(f.Eng, hosts, perm, 2*time.Millisecond, 128)
+	workload.PairCBRs(hosts, perm, 2*time.Millisecond, 128)
 	hosts[3].Endpoint().JoinGroup(0x42, true, nil)
 	hosts[12].Endpoint().JoinGroup(0x42, false, func(*ether.Frame) {})
 	f.RunFor(100 * time.Millisecond)

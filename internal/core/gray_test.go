@@ -42,7 +42,7 @@ func TestGrayInvisibleToLDM(t *testing.T) {
 	f := buildK4(t) // detector off
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1]
-	flow := workload.StartCBR(f.Eng, src, dst, 22000, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 22000, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	link := activeAggCoreLink(t, f, 200*time.Millisecond)
@@ -67,7 +67,7 @@ func TestGrayInvisibleToLDM(t *testing.T) {
 	if got > 720 { // 800 expected if healthy; 0.5 loss ≈ 400
 		t.Fatalf("delivery %d/800 during gray; link was not actually lossy", got)
 	}
-	if f.Links[link].GrayDrops == 0 {
+	if f.Links[link].GrayDrops() == 0 {
 		t.Fatal("no gray drops recorded on the gray link")
 	}
 	flow.Stop()
@@ -83,7 +83,7 @@ func TestGrayDetectorQuarantinesAndReroutes(t *testing.T) {
 	f := buildK4Gray(t, det)
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1]
-	flow := workload.StartCBR(f.Eng, src, dst, 22001, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 22001, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	link := activeAggCoreLink(t, f, 200*time.Millisecond)
@@ -125,7 +125,7 @@ func TestAsymmetricGrayDetected(t *testing.T) {
 	f := buildK4Gray(t, det)
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1]
-	flow := workload.StartCBR(f.Eng, src, dst, 22002, 1*time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 22002, 1*time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	link := activeAggCoreLink(t, f, 200*time.Millisecond)
@@ -160,7 +160,7 @@ func TestCongestedLinkNotQuarantined(t *testing.T) {
 			t.Fatalf("host %q or %q missing", srcs[i], dsts[i])
 		}
 		// 1500 B every 15 µs = 0.8 Gb/s per flow.
-		flows = append(flows, workload.StartCBR(f.Eng, s, d, 23000+uint16(i), 15*time.Microsecond, 1500))
+		flows = append(flows, workload.StartCBR(s, d, 23000+uint16(i), 15*time.Microsecond, 1500))
 	}
 	start := f.Eng.Now()
 	f.RunFor(1 * time.Second)
@@ -173,7 +173,7 @@ func TestCongestedLinkNotQuarantined(t *testing.T) {
 		if an.Level.String() == "host" || bn.Level.String() == "host" {
 			continue
 		}
-		queueDrops += f.Links[i].QueueDrops
+		queueDrops += f.Links[i].QueueDrops()
 	}
 	if queueDrops == 0 {
 		t.Fatal("test premise broken: no queue drops on switch-switch links")

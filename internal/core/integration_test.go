@@ -30,7 +30,7 @@ func TestFabricDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		hosts := f.HostList()
-		flow := workload.StartCBR(f.Eng, hosts[1], hosts[14], 20000, time.Millisecond, 128)
+		flow := workload.StartCBR(hosts[1], hosts[14], 20000, time.Millisecond, 128)
 		f.RunFor(300 * time.Millisecond)
 		li, _ := f.LinkBetween("agg-p1-s0", "core-1")
 		f.FailLink(li)
@@ -64,7 +64,7 @@ func TestStaggeredFailuresAndRecovery(t *testing.T) {
 	f := buildK4(t)
 	src := f.HostByName("host-p0-e0-h0")
 	dst := f.HostByName("host-p2-e1-h1")
-	flow := workload.StartCBR(f.Eng, src, dst, 20500, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 20500, time.Millisecond, 128)
 	f.RunFor(300 * time.Millisecond)
 
 	l1, _ := f.LinkBetween("agg-p0-s0", "core-0")
@@ -166,7 +166,7 @@ func TestCorePodUnreachableThenRecovered(t *testing.T) {
 	f := buildK4(t)
 	src := f.HostByName("host-p1-e0-h0")
 	dst := f.HostByName("host-p0-e0-h0")
-	flow := workload.StartCBR(f.Eng, src, dst, 20600, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 20600, time.Millisecond, 128)
 	f.RunFor(300 * time.Millisecond)
 
 	// core-0's only link into pod 0 is via agg-p0-s0.
@@ -202,7 +202,7 @@ func TestFlowTableDynamics(t *testing.T) {
 	dst := f.HostByName("host-p3-e1-h1")
 	edge := f.SwitchByName("edge-p0-s0")
 
-	flow := workload.StartCBR(f.Eng, src, dst, 20700, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 20700, time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 	st := edge.FlowTable().Stats
 	if st.Installs == 0 {
@@ -269,8 +269,11 @@ func TestDiscoveryUnderLDPLoss(t *testing.T) {
 	src, dst := f.HostByName("host-p0-e0-h0"), f.HostByName("host-p2-e0-h0")
 	got := 0
 	dst.Endpoint().BindUDP(60, func(netip.Addr, uint16, ether.Payload) { got++ })
+	// Pace the sends below the line rate so the egress queue never
+	// tail-drops: the measurement is wire loss, not queue overflow.
 	for i := 0; i < 200; i++ {
 		src.Endpoint().SendUDP(dst.IP(), 60, 60, 64)
+		f.RunFor(2 * time.Microsecond)
 	}
 	f.RunFor(5 * time.Second)
 	if got < 80 {
@@ -403,7 +406,7 @@ func TestSwitchCrashAndReboot(t *testing.T) {
 	f := buildK4(t)
 	src := f.HostByName("host-p0-e0-h0")
 	dst := f.HostByName("host-p2-e0-h0")
-	flow := workload.StartCBR(f.Eng, src, dst, 20800, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 20800, time.Millisecond, 128)
 	f.RunFor(300 * time.Millisecond)
 
 	victim := f.SwitchByName("agg-p0-s0")
@@ -504,7 +507,7 @@ func TestLoopFreedomUnderChurn(t *testing.T) {
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	flows := workload.PairCBRs(f.Eng, hosts, perm, 2*time.Millisecond, 64)
+	flows := workload.PairCBRs(hosts, perm, 2*time.Millisecond, 64)
 	f.RunFor(300 * time.Millisecond)
 	// Churn: fail and restore links while traffic flows.
 	l1, _ := f.LinkBetween("agg-p0-s0", "core-0")
@@ -538,7 +541,7 @@ func TestFrameConservation(t *testing.T) {
 	f := buildK4(t)
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	flows := workload.PairCBRs(f.Eng, hosts, perm, time.Millisecond, 128)
+	flows := workload.PairCBRs(hosts, perm, time.Millisecond, 128)
 	li, _ := f.LinkBetween("agg-p1-s0", "core-0")
 	f.RunFor(300 * time.Millisecond)
 	f.FailLink(li)
@@ -556,8 +559,8 @@ func TestFrameConservation(t *testing.T) {
 		sentTotal += h.Stats.FramesOut
 	}
 	for _, l := range f.Links {
-		delivered += l.Delivered
-		dropped += l.Drops
+		delivered += l.Delivered()
+		dropped += l.Drops()
 	}
 	if sentTotal != delivered+dropped {
 		t.Fatalf("conservation violated: sent=%d delivered=%d dropped=%d (leak of %d)",

@@ -71,7 +71,7 @@ func TestMulticastFailureRecovery(t *testing.T) {
 	// carrying group traffic by delta-sampling.
 	base := make([]int64, len(f.Links))
 	for i, l := range f.Links {
-		base[i] = l.Delivered
+		base[i] = l.Delivered()
 	}
 	f.RunFor(100 * time.Millisecond)
 	best, bestDelta := -1, int64(0)
@@ -85,7 +85,7 @@ func TestMulticastFailureRecovery(t *testing.T) {
 		if !isAggCore {
 			continue
 		}
-		if d := f.Links[i].Delivered - base[i]; d > bestDelta {
+		if d := f.Links[i].Delivered() - base[i]; d > bestDelta {
 			bestDelta, best = d, i
 		}
 	}

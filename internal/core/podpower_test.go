@@ -20,7 +20,7 @@ func TestPodPowerCycleRecovers(t *testing.T) {
 	f := buildK4(t)
 	hosts := f.HostList()
 	src, dst := hosts[0], hosts[len(hosts)-1] // dst lives in pod 3
-	flow := workload.StartCBR(f.Eng, src, dst, 25000, time.Millisecond, 128)
+	flow := workload.StartCBR(src, dst, 25000, time.Millisecond, 128)
 	f.RunFor(500 * time.Millisecond)
 
 	pod3 := []string{"edge-p3-s0", "edge-p3-s1", "agg-p3-s0", "agg-p3-s1"}

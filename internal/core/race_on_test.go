@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; full-scale (k=48) tests skip themselves under it and rely
+// on the k=4 variants for race coverage.
+const raceEnabled = true

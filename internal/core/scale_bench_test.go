@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -26,6 +28,45 @@ func BenchmarkK48Discovery(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedBoot measures cold boot through verified location
+// discovery across engine-shard counts, up to the beyond-target k=64
+// fabric (5120 switches, 65,536 hosts). Every configuration produces
+// the byte-identical discovery outcome (the shard identity gates pin
+// that); what varies is wall time, and only with cores to spend —
+// each op reports the honest parallelism actually used: `shards`
+// (configured partition), `workers` (effective worker bound, i.e.
+// min(GOMAXPROCS, shards)), and `maxprocs`. On a single-core host
+// workers stays 1 and the sharded rows measure pure partition
+// overhead; the speedup headroom is shards × cores on wider hosts.
+func BenchmarkShardedBoot(b *testing.B) {
+	for _, c := range []struct{ k, shards int }{
+		{48, 1}, {48, 4}, {48, 8}, {64, 1}, {64, 8},
+	} {
+		b.Run(fmt.Sprintf("k%d/shards%d", c.k, c.shards), func(b *testing.B) {
+			workers := 1
+			for i := 0; i < b.N; i++ {
+				f, err := NewFatTree(c.k, Options{Seed: 1, Shards: c.shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Start()
+				if err := f.AwaitDiscovery(10 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := f.CheckDiscovery(); err != nil {
+					b.Fatal(err)
+				}
+				workers = f.Dom.EffectiveWorkers()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(c.shards), "shards")
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "maxprocs")
+		})
 	}
 }
 

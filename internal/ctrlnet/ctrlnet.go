@@ -70,9 +70,14 @@ type PipeConfig struct {
 	CorruptRate float64
 }
 
-// SimConn is one end of an in-simulator pipe.
+// SimConn is one end of an in-simulator pipe. In domain mode (built
+// with SimPipeDom) the end carries its own sim.Proc: send-side coins
+// draw from the end's private stream and deliveries to a peer on
+// another shard ride the domain's epoch mailboxes — both keyed so a
+// sharded run orders control traffic identically to a serial one.
 type SimConn struct {
 	eng     *sim.Engine
+	proc    *sim.Proc // nil on legacy single-engine pipes
 	cfg     PipeConfig
 	peer    *SimConn
 	handler Handler
@@ -98,6 +103,29 @@ func SimPipeCfg(eng *sim.Engine, cfg PipeConfig) (a, b *SimConn) {
 	ca.peer = cb
 	cb.peer = ca
 	return ca, cb
+}
+
+// SimPipeDom creates a control channel whose ends live on (possibly
+// different) shards of a domain: end a on ea, end b on eb. Each end
+// gets its own scheduling stream, and a cross-shard pipe registers its
+// delay as a domain lookahead bound.
+func SimPipeDom(d *sim.Domain, ea, eb *sim.Engine, cfg PipeConfig) (a, b *SimConn) {
+	ca := &SimConn{eng: ea, proc: ea.NewProc(), cfg: cfg}
+	cb := &SimConn{eng: eb, proc: eb.NewProc(), cfg: cfg}
+	ca.peer = cb
+	cb.peer = ca
+	d.RegisterLatency(ea, eb, cfg.Delay)
+	return ca, cb
+}
+
+// Sched returns the scheduling surface owning this end: its private
+// stream in domain mode, the engine root otherwise. Wrappers that need
+// timers on this end's shard (e.g. Reliable) build them here.
+func (c *SimConn) Sched() sim.Sched {
+	if c.proc != nil {
+		return c.proc
+	}
+	return c.eng
 }
 
 // SetHandler installs the function that receives messages sent by the
@@ -126,11 +154,15 @@ func (c *SimConn) Send(m ctrlmsg.Msg) error {
 	b := ctrlmsg.Encode(m)
 	c.stats.Msgs++
 	c.stats.Bytes += int64(len(b) + frameOverhead)
-	if c.cfg.LossRate > 0 && c.eng.Rand().Float64() < c.cfg.LossRate {
+	rng := c.eng.Rand()
+	if c.proc != nil {
+		rng = c.proc.Rand()
+	}
+	if c.cfg.LossRate > 0 && rng.Float64() < c.cfg.LossRate {
 		c.stats.Drops++
 		return nil
 	}
-	if c.cfg.CorruptRate > 0 && c.eng.Rand().Float64() < c.cfg.CorruptRate {
+	if c.cfg.CorruptRate > 0 && rng.Float64() < c.cfg.CorruptRate {
 		// Smash the kind byte: detectably corrupt (no valid kind has
 		// the high bit set), so every corruption event is observable
 		// at the receiver rather than silently decoding to garbage.
@@ -138,6 +170,12 @@ func (c *SimConn) Send(m ctrlmsg.Msg) error {
 		b[0] ^= 0x80
 	}
 	peer := c.peer
+	if c.proc != nil {
+		// Keyed by this end's stream; routes through the domain
+		// mailbox when the peer lives on another shard.
+		c.proc.ScheduleOn(peer.eng, c.proc.Now()+c.cfg.Delay, func() { peer.deliverRaw(b) })
+		return nil
+	}
 	c.eng.Schedule(c.cfg.Delay, func() { peer.deliverRaw(b) })
 	return nil
 }

@@ -39,7 +39,7 @@ const (
 // timeout recovers the gap. Duplicate frames are acked but not
 // re-delivered, so handlers see each message exactly once.
 type Reliable struct {
-	eng     *sim.Engine
+	eng     sim.Sched
 	under   Conn
 	cfg     ReliableConfig
 	handler Handler
@@ -65,7 +65,7 @@ type Reliable struct {
 // NewReliable wraps under. Call Attach on the wrapped end(s) after
 // both are constructed, then route the underlying conn's inbound
 // messages into Receive (Attach does this for SimConn ends).
-func NewReliable(eng *sim.Engine, under Conn, cfg ReliableConfig) *Reliable {
+func NewReliable(eng sim.Sched, under Conn, cfg ReliableConfig) *Reliable {
 	if cfg.RTO <= 0 {
 		cfg.RTO = defaultRTO
 	}

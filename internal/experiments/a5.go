@@ -52,7 +52,7 @@ func runA5Cell(k, flows int) (*A5Result, error) {
 		if i == j {
 			continue
 		}
-		workload.StartCBR(f.Eng, hosts[i], hosts[j], port, 5*time.Millisecond, 200)
+		workload.StartCBR(hosts[i], hosts[j], port, 5*time.Millisecond, 200)
 		started++
 	}
 	f.RunFor(500 * time.Millisecond)

@@ -171,8 +171,8 @@ func RunA2(ks []int) (*A2Result, error) {
 		}
 		f.Start()
 		deadline := 60 * time.Second
-		for f.Eng.Now() < deadline && !f.AllResolved() {
-			f.Eng.RunUntil(f.Eng.Now() + time.Millisecond)
+		for f.Dom.Now() < deadline && !f.AllResolved() {
+			f.Dom.RunUntil(f.Dom.Now() + time.Millisecond)
 		}
 		if !f.AllResolved() {
 			return a2Cell{}, errDiscoveryStalled
@@ -339,7 +339,7 @@ func (r *A3Result) Print(w io.Writer) {
 func linkDelivered(links []*sim.Link) int64 {
 	var n int64
 	for _, l := range links {
-		n += l.Delivered
+		n += l.Delivered()
 	}
 	return n
 }
@@ -378,7 +378,7 @@ func runA4Cell(iv time.Duration, trial int) (a4Trial, error) {
 		return out, err
 	}
 	hosts := f.HostList()
-	flow := workload.StartCBR(f.Eng, hosts[0], hosts[len(hosts)-1], 22000, time.Millisecond, 64)
+	flow := workload.StartCBR(hosts[0], hosts[len(hosts)-1], 22000, time.Millisecond, 64)
 	f.RunFor(500 * time.Millisecond)
 
 	var ldm0 int64

@@ -38,15 +38,30 @@ type Rig struct {
 	// keeps it off (no ticker, no RNG draws) so every pre-existing
 	// experiment is bit-identical with or without this field.
 	Detect graydetect.Config
+	// Shards partitions the fabric across engine shards (see
+	// core.Options.Shards). Results are byte-identical for every value
+	// — the serial-vs-sharded golden gates depend on it — so this only
+	// changes wall-clock time, never output.
+	Shards int
 }
+
+// defaultShards is the process-wide engine-shard default baked into
+// every rig DefaultRig hands out — the hook behind portland-bench's
+// -shards flag. Because sharding never changes results (only wall
+// clock), one knob for the whole process is the right granularity.
+var defaultShards int
+
+// SetDefaultShards sets the engine-shard count DefaultRig bakes into
+// experiment rigs. Zero or one means serial.
+func SetDefaultShards(n int) { defaultShards = n }
 
 // DefaultRig mirrors the paper's testbed scale.
 func DefaultRig() Rig {
-	return Rig{K: 4, Seed: 1}
+	return Rig{K: 4, Seed: 1, Shards: defaultShards}
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +90,7 @@ func hr(w io.Writer) {
 func busiestLink(f *core.Fabric, window time.Duration, la, lb topo.Level) (int, error) {
 	base := make([]int64, len(f.Links))
 	for i, l := range f.Links {
-		base[i] = l.Delivered
+		base[i] = l.Delivered()
 	}
 	f.RunFor(window)
 	best, bestDelta := -1, int64(0)
@@ -84,7 +99,7 @@ func busiestLink(f *core.Fabric, window time.Duration, la, lb topo.Level) (int, 
 		if !(al == la && bl == lb || al == lb && bl == la) {
 			continue
 		}
-		if d := f.Links[i].Delivered - base[i]; d > bestDelta {
+		if d := f.Links[i].Delivered() - base[i]; d > bestDelta {
 			bestDelta, best = d, i
 		}
 	}

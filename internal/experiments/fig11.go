@@ -57,11 +57,13 @@ func runFig11Cell(cfg Fig11Config, trial int) (fig11Trial, error) {
 	for i, name := range receivers {
 		rec := &metrics.Recorder{}
 		recs[i] = rec
-		f.HostByName(name).Endpoint().JoinGroup(group, false, func(*ether.Frame) { rec.Record(f.Eng.Now()) })
+		h := f.HostByName(name)
+		rxNow := h.Sim().Now // receiver-shard clock: safe inside the handler
+		h.Endpoint().JoinGroup(group, false, func(*ether.Frame) { rec.Record(rxNow()) })
 	}
 	sender.Endpoint().JoinGroup(group, true, nil)
 	f.RunFor(50 * time.Millisecond)
-	f.Eng.NewTicker(cfg.SendEvery, 0, func() {
+	f.Sched().NewTicker(cfg.SendEvery, 0, func() {
 		sender.Endpoint().SendGroup(group, 5000, 5000, 256)
 	})
 	f.RunFor(300 * time.Millisecond)

@@ -80,7 +80,7 @@ func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
 	// measures the same quantity). Seed the series with the current
 	// total so the first bucket doesn't absorb all prior transfer.
 	deliver.Add(f.Eng.Now(), vmConn.Delivered())
-	f.Eng.NewTicker(5*time.Millisecond, 0, func() {
+	f.Sched().NewTicker(5*time.Millisecond, 0, func() {
 		deliver.Add(f.Eng.Now(), vmConn.Delivered())
 	})
 	f.RunFor(1 * time.Second)

@@ -114,7 +114,7 @@ func fig9Cell(cfg Fig9Config, n, trial int, report bool) (fig9Trial, *obs.Report
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	flows := workload.PairCBRs(hosts, perm, cfg.ProbeEvery, 64)
 	f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
 
 	var links []int

@@ -110,7 +110,7 @@ func runFMFCell(cfg FMFConfig, loss float64, outage time.Duration, cell int) (FM
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	flows := workload.PairCBRs(hosts, perm, cfg.ProbeEvery, 64)
 	f.RunFor(500 * time.Millisecond)
 
 	link, err := busiestLink(f, 100*time.Millisecond, topo.Aggregation, topo.Core)
@@ -142,7 +142,7 @@ func runFMFCell(cfg FMFConfig, loss float64, outage time.Duration, cell int) (FM
 	// service is in fact back.
 	cold, target := hosts[2], hosts[len(hosts)-3]
 	cold.FlushARP(target.IP())
-	coldFlow := workload.StartCBR(f.Eng, cold, target, 7300, cfg.ProbeEvery, 64)
+	coldFlow := workload.StartCBR(cold, target, 7300, cfg.ProbeEvery, 64)
 
 	f.RunFor(outage + 2*time.Second)
 

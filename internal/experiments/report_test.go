@@ -147,3 +147,51 @@ func TestSCReportGolden(t *testing.T) {
 		t.Fatal("two in-process replays of the same scenario cell differ")
 	}
 }
+
+// TestFig9ReportGoldenSharded pins the sharded engine's determinism
+// contract against the same golden the serial replay is gated on: a
+// Fig. 9 replay split across engine shards must produce the identical
+// bytes. The golden is deliberately shared — there is no "sharded
+// golden"; a sharded run that needs its own golden is a broken one.
+func TestFig9ReportGoldenSharded(t *testing.T) {
+	cfg := fig9TestConfig()
+	cfg.Rig.Shards = 5 // one per pod + the core bank, at k=4
+	rep, err := ReplayFig9(cfg, 1, 3)
+	if err != nil {
+		t.Fatalf("ReplayFig9 (sharded): %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fig9-report.golden.json"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded replay differs from the serial golden (len %d vs %d): the shard determinism contract is broken", len(got), len(want))
+	}
+}
+
+// TestSCReportGoldenSharded is the scenario-replay arm of the same
+// contract: the `-exp sc` cell re-run on a sharded engine must match
+// the serial golden byte-for-byte.
+func TestSCReportGoldenSharded(t *testing.T) {
+	cfg := DefaultSC()
+	cfg.Rig.Shards = 5
+	rep, err := ReplaySC(cfg, "gray-det", 0)
+	if err != nil {
+		t.Fatalf("ReplaySC (sharded): %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "sc-report.golden.json"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded scenario replay differs from the serial golden (len %d vs %d): the shard determinism contract is broken", len(got), len(want))
+	}
+}

@@ -61,7 +61,12 @@ const scSettle = 700 * time.Millisecond
 type scFamily struct {
 	id       string
 	detector bool // arm the gray detector in this family's cells
-	gen      func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool)
+	// det, when set, rewrites the sweep's detector profile for this
+	// family's cells: the family id becomes a sweep coordinate that
+	// exposes the window/trip/clean knobs, with no detector logic of
+	// its own.
+	det func(graydetect.Config) graydetect.Config
+	gen func(r *rand.Rand, f *core.Fabric, cfg SCConfig) (faults.Scenario, bool)
 	// trigger/response: detection latency = first response event at or
 	// after the first trigger event.
 	trigger  obs.Kind
@@ -125,6 +130,36 @@ var scFamilies = []scFamily{
 			})
 		},
 		trigger: obs.ScenarioStart, response: obs.MgrMigrate,
+	},
+	{
+		// Detector-profile coordinates: the same gray scenario as
+		// gray-det with the window/trip/clean knobs turned, so one
+		// `-exp sc` coordinate (family, trial) exposes the detection-
+		// latency vs. patience trade-off. gray-fast trades short
+		// sampling windows and a hair trigger for speed; gray-patient
+		// demands five consecutive bad 25 ms windows before it
+		// quarantines — slower to trip and slower to release.
+		id: "gray-fast", detector: true,
+		det: func(c graydetect.Config) graydetect.Config {
+			c.Interval = 2 * time.Millisecond
+			c.MinDrops = 2
+			c.Trip = 2
+			c.Clean = 3
+			return c
+		},
+		gen:     scGray,
+		trigger: obs.GrayOnset, response: obs.GrayDetected,
+	},
+	{
+		id: "gray-patient", detector: true,
+		det: func(c graydetect.Config) graydetect.Config {
+			c.Interval = 25 * time.Millisecond
+			c.Trip = 5
+			c.Clean = 8
+			return c
+		},
+		gen:     scGray,
+		trigger: obs.GrayOnset, response: obs.GrayDetected,
 	},
 }
 
@@ -204,6 +239,9 @@ func scCell(cfg SCConfig, fam, trial int, report bool) (scTrial, *obs.Report, er
 	rig.Seed = cfg.Rig.Seed + uint64((fam+1)*1000+trial)
 	if family.detector {
 		rig.Detect = cfg.Detect
+		if family.det != nil {
+			rig.Detect = family.det(cfg.Detect)
+		}
 	}
 	f, err := rig.build()
 	if err != nil {
@@ -211,7 +249,7 @@ func scCell(cfg SCConfig, fam, trial int, report bool) (scTrial, *obs.Report, er
 	}
 	hosts := f.HostList()
 	perm := workload.Permutation(f.Eng.Rand(), len(hosts))
-	flows := workload.PairCBRs(f.Eng, hosts, perm, cfg.ProbeEvery, 64)
+	flows := workload.PairCBRs(hosts, perm, cfg.ProbeEvery, 64)
 	f.RunFor(500 * time.Millisecond) // ARP warm-up, steady state
 
 	sc, ok := family.gen(f.Eng.Rand(), f, cfg)
@@ -261,6 +299,13 @@ func scCell(cfg SCConfig, fam, trial int, report bool) (scTrial, *obs.Report, er
 	rep.Params["trial"] = itoa(trial)
 	rep.Params["probe_every"] = cfg.ProbeEvery.String()
 	rep.Params["detector"] = map[bool]string{true: "on", false: "off"}[family.detector]
+	if family.detector {
+		// The effective profile for this cell, after any per-family
+		// override — the knobs the coordinate exists to expose.
+		rep.Params["det_window"] = rig.Detect.Interval.String()
+		rep.Params["det_trip"] = itoa(rig.Detect.Trip)
+		rep.Params["det_clean"] = itoa(rig.Detect.Clean)
+	}
 	if out.detected {
 		rep.Params["detect_ms"] = fmt.Sprintf("%.3f", out.detMs)
 	} else {
@@ -312,6 +357,7 @@ func RunSC(cfg SCConfig) (*SCResult, error) {
 		"probe_every": cfg.ProbeEvery.String(),
 		"det_window":  cfg.Detect.Interval.String(),
 		"det_trip":    itoa(cfg.Detect.Trip),
+		"det_clean":   itoa(cfg.Detect.Clean),
 	}, nil)
 	for p, trials := range cells {
 		row := SCRow{Family: scFamilies[p].id, Trials: len(trials)}

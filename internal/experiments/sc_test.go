@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
 
 // TestPodPowerPositionSwapHeals replays the pod-power cells of the
 // scenario sweep and requires every flow to recover. Trial 1's seed is
@@ -24,5 +27,38 @@ func TestPodPowerPositionSwapHeals(t *testing.T) {
 					trial, rep.Params["scenario"], fl.Flow)
 			}
 		}
+	}
+}
+
+// TestSCDetectorProfiles pins the detector-profile coordinates: the
+// gray-fast and gray-patient families must run the same gray scenario
+// under their own window/trip/clean knobs (reported per cell), both
+// must detect, and the hair-trigger profile must detect strictly
+// sooner than the patient one.
+func TestSCDetectorProfiles(t *testing.T) {
+	cfg := DefaultSC()
+	det := func(family, window, trip, clean string) float64 {
+		t.Helper()
+		rep, err := ReplaySC(cfg, family, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, want := range map[string]string{
+			"det_window": window, "det_trip": trip, "det_clean": clean,
+		} {
+			if got := rep.Params[key]; got != want {
+				t.Errorf("%s: %s = %q, want %q", family, key, got, want)
+			}
+		}
+		ms, err := strconv.ParseFloat(rep.Params["detect_ms"], 64)
+		if err != nil {
+			t.Fatalf("%s: detect_ms = %q, want a latency (detection never fired?)", family, rep.Params["detect_ms"])
+		}
+		return ms
+	}
+	fast := det("gray-fast", "2ms", "2", "3")
+	patient := det("gray-patient", "25ms", "5", "8")
+	if fast >= patient {
+		t.Errorf("gray-fast detected in %.3f ms, gray-patient in %.3f ms; fast profile should be strictly sooner", fast, patient)
 	}
 }

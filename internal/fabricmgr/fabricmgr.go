@@ -884,6 +884,20 @@ func (m *Manager) recomputeRoutes() {
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 	deltas := m.deltaBuf[:0]
 	for _, id := range tids {
+		if _, connected := m.conns[id]; !connected {
+			// No session yet (its Hello is still in flight — a race a
+			// restarted manager under control loss hits routinely): a
+			// push would vanish into m.send's no-op, so keep the old
+			// installed view. The switch's LocationReport re-runs this
+			// recompute once the session binds, and the diff against
+			// the preserved state emits the missed deltas then.
+			if have := m.excl[id]; have != nil {
+				desired[id] = have
+			} else {
+				delete(desired, id)
+			}
+			continue
+		}
 		want := desired[id]
 		have := m.excl[id]
 		for _, k := range m.sortedExclKeys(want) {

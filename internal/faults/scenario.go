@@ -69,9 +69,9 @@ func (sc Scenario) Apply(f *core.Fabric) {
 	j := f.FabricJournal()
 	start, end := sc.Schedule.Span()
 	tag, n := uint64(sc.Tag), uint64(len(sc.Schedule.Events))
-	f.Eng.Schedule(start, func() { j.Record(obs.ScenarioStart, tag, n, 0, 0) })
+	f.Sched().Schedule(start, func() { j.Record(obs.ScenarioStart, tag, n, 0, 0) })
 	sc.Schedule.Apply(f)
-	f.Eng.Schedule(end, func() { j.Record(obs.ScenarioEnd, tag, 0, 0, 0) })
+	f.Sched().Schedule(end, func() { j.Record(obs.ScenarioEnd, tag, 0, 0, 0) })
 }
 
 // GrayConfig parameterizes Gray.

@@ -167,7 +167,7 @@ func (s Schedule) Apply(f *core.Fabric) {
 	j := f.FabricJournal()
 	for i, e := range s.Events {
 		i, ev := i, e
-		f.Eng.Schedule(ev.At, func() {
+		f.Sched().Schedule(ev.At, func() {
 			st.fail(ev)
 			j.Record(obs.FaultApplied, uint64(i), uint64(len(ev.Links)), uint64(len(ev.Switches)), b2u(ev.Manager))
 			if ev.Flap {
@@ -182,7 +182,7 @@ func (s Schedule) Apply(f *core.Fabric) {
 		if ev.Duration <= 0 {
 			continue
 		}
-		f.Eng.Schedule(ev.At+ev.Duration, func() {
+		f.Sched().Schedule(ev.At+ev.Duration, func() {
 			st.recover(ev)
 			j.Record(obs.FaultRecovered, uint64(i), uint64(len(ev.Links)), uint64(len(ev.Switches)), b2u(ev.Manager))
 			if ev.Flap {

@@ -62,7 +62,7 @@ type tcpKey struct {
 
 // Host is one physical machine with a single NIC.
 type Host struct {
-	eng  *sim.Engine
+	eng  *sim.Proc
 	name string
 	link *sim.Link
 	pool *ether.FramePool
@@ -81,7 +81,7 @@ type Host struct {
 }
 
 // New builds a host whose primary endpoint has the given MAC and IP.
-func New(eng *sim.Engine, name string, mac ether.Addr, ip netip.Addr) *Host {
+func New(eng *sim.Proc, name string, mac ether.Addr, ip netip.Addr) *Host {
 	h := &Host{
 		eng:     eng,
 		name:    name,
@@ -107,7 +107,7 @@ func (h *Host) Attach(_ int, l *sim.Link) { h.link = l }
 func (h *Host) Start() {}
 
 // Engine returns the simulation engine.
-func (h *Host) Engine() *sim.Engine { return h.eng }
+func (h *Host) Sim() *sim.Proc { return h.eng }
 
 // Endpoint returns the host's primary network identity.
 func (h *Host) Endpoint() *Endpoint { return h.primary }
@@ -331,7 +331,7 @@ func (h *Host) String() string {
 // and group subscriptions follow a VM across migrations.
 type Endpoint struct {
 	host *Host
-	eng  *sim.Engine // survives detachment so timers keep ticking
+	eng  *sim.Proc // survives detachment so timers keep ticking
 	mac  ether.Addr
 	ip   netip.Addr
 
@@ -374,7 +374,7 @@ func (ep *Endpoint) LocalIP() netip.Addr { return ep.ip }
 func (ep *Endpoint) Host() *Host { return ep.host }
 
 // Engine implements tcplite.Endpoint.
-func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
+func (ep *Endpoint) Sim() *sim.Proc { return ep.eng }
 
 // SendIP implements tcplite.Endpoint: wrap the packet in a frame and
 // resolve the next-hop MAC (always the destination's own MAC in a

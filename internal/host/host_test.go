@@ -18,8 +18,8 @@ import (
 func wire(t *testing.T) (*sim.Engine, *Host, *Host) {
 	t.Helper()
 	eng := sim.New(1)
-	a := New(eng, "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
-	b := New(eng, "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
+	a := New(eng.NewProc(), "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
+	b := New(eng.NewProc(), "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
 	sim.Connect(eng, a, 0, b, 0, sim.LinkConfig{Rate: 1e9, Delay: time.Microsecond, QueueFrames: 64})
 	return eng, a, b
 }
@@ -30,8 +30,8 @@ func wire(t *testing.T) (*sim.Engine, *Host, *Host) {
 // the retransmission counters rather than in missing bytes.
 func TestTCPOverLossyLink(t *testing.T) {
 	eng := sim.New(3)
-	a := New(eng, "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
-	b := New(eng, "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
+	a := New(eng.NewProc(), "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
+	b := New(eng.NewProc(), "b", ether.Addr{2, 0, 0, 0, 0, 2}, netip.MustParseAddr("10.0.0.2"))
 	sim.Connect(eng, a, 0, b, 0, sim.LinkConfig{
 		Rate: 1e9, Delay: 10 * time.Microsecond, QueueFrames: 64, LossRate: 0.1,
 	})
@@ -98,7 +98,7 @@ func TestARPQueueHoldsMultiplePackets(t *testing.T) {
 
 func TestARPRetryAndGiveUp(t *testing.T) {
 	eng := sim.New(1)
-	a := New(eng, "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
+	a := New(eng.NewProc(), "a", ether.Addr{2, 0, 0, 0, 0, 1}, netip.MustParseAddr("10.0.0.1"))
 	// No link at all: requests vanish.
 	a.Endpoint().SendUDP(netip.MustParseAddr("10.0.0.9"), 9, 9, 10)
 	eng.RunUntil(30 * time.Second)

@@ -90,7 +90,7 @@ type portInfo struct {
 // Agent runs LDP for one switch. Not safe for concurrent use; all
 // calls must come from the simulation event loop.
 type Agent struct {
-	eng *sim.Engine
+	eng *sim.Proc
 	env Env
 	cfg Config
 
@@ -141,7 +141,7 @@ type Agent struct {
 }
 
 // New builds an (unstarted) agent.
-func New(eng *sim.Engine, env Env, cfg Config) *Agent {
+func New(eng *sim.Proc, env Env, cfg Config) *Agent {
 	return &Agent{
 		eng:       eng,
 		env:       env,

@@ -77,7 +77,7 @@ func ldm(sw ctrlmsg.SwitchID, level uint8, pod uint16, pos uint8) *Packet {
 func TestCoreInference(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 100, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	// Aggregation neighbors on three of four ports: not yet decisive
 	// (the fourth could still turn out to be a host port).
@@ -104,7 +104,7 @@ func TestCoreInference(t *testing.T) {
 func TestEdgeInferenceViaDataFrame(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 5, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	// A data frame on port 0 marks it as a host port immediately.
 	a.NoteDataFrame(0)
@@ -119,7 +119,7 @@ func TestEdgeInferenceViaDataFrame(t *testing.T) {
 func TestAggInferenceFromEdgeNeighbor(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 6, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	a.HandleLDP(1, ldm(2, ctrlmsg.LevelEdge, PodUnknown, PosUnknown))
 	if a.Level() != ctrlmsg.LevelAggregation {
@@ -138,7 +138,7 @@ func TestAggInferenceFromEdgeNeighbor(t *testing.T) {
 func TestEdgePositionNegotiation(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 7, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	a.NoteDataFrame(0)
 	a.NoteDataFrame(1)
@@ -185,7 +185,7 @@ func TestEdgePositionNegotiation(t *testing.T) {
 func TestEdgePositionDenialRetries(t *testing.T) {
 	eng := sim.New(3)
 	env := &fakeEnv{id: 8, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	a.NoteDataFrame(0)
 	a.HandleLDP(2, ldm(20, ctrlmsg.LevelAggregation, PodUnknown, PosUnknown))
@@ -228,7 +228,7 @@ func TestEdgePositionDenialRetries(t *testing.T) {
 func TestAggregationGrantsFirstComeFirstServed(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 9, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	a.HandleLDP(0, ldm(2, ctrlmsg.LevelEdge, PodUnknown, PosUnknown))
 	env.sent = nil
@@ -261,7 +261,7 @@ func TestMissedLDMFaultDetection(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 10, ports: 2}
 	cfg := Config{Interval: 10 * time.Millisecond, MissFactor: 5}
-	a := New(eng, env, cfg)
+	a := New(eng.NewProc(), env, cfg)
 	a.Start()
 	// Feed LDMs on port 0 every interval via a ticker, then stop.
 	alive := true
@@ -299,7 +299,7 @@ func TestMissedLDMFaultDetection(t *testing.T) {
 func TestAnnounceOnStateChange(t *testing.T) {
 	eng := sim.New(1)
 	env := &fakeEnv{id: 11, ports: 4}
-	a := New(eng, env, Config{})
+	a := New(eng.NewProc(), env, Config{})
 	a.Start()
 	before := len(env.sent)
 	a.HandleLDP(1, ldm(2, ctrlmsg.LevelEdge, PodUnknown, PosUnknown))

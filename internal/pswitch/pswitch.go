@@ -72,7 +72,7 @@ type exclKey struct {
 
 // Switch is one PortLand switch.
 type Switch struct {
-	eng    *sim.Engine
+	eng    *sim.Proc
 	id     ctrlmsg.SwitchID
 	ldpCfg ldp.Config
 	name   string
@@ -140,7 +140,7 @@ type Switch struct {
 }
 
 // New builds a switch with the given burned-in ID and port count.
-func New(eng *sim.Engine, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.Config) *Switch {
+func New(eng *sim.Proc, id ctrlmsg.SwitchID, name string, ports int, cfg ldp.Config) *Switch {
 	s := &Switch{
 		eng:         eng,
 		id:          id,

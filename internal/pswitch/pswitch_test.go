@@ -44,7 +44,7 @@ func TestFlowHashStableAndSpreads(t *testing.T) {
 
 func TestSwitchFailsClosed(t *testing.T) {
 	eng := sim.New(1)
-	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s := New(eng.NewProc(), 1, "sw", 4, ldp.Config{})
 	s.Start()
 	s.Fail()
 	if !s.Failed() {
@@ -60,7 +60,7 @@ func TestSwitchFailsClosed(t *testing.T) {
 
 func TestRoutingStateSizeCountsEverything(t *testing.T) {
 	eng := sim.New(1)
-	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s := New(eng.NewProc(), 1, "sw", 4, ldp.Config{})
 	base := s.RoutingStateSize()
 	s.mcast[7] = []int{0, 1}
 	s.excl[exclKey{via: 9, pod: 1, pos: 2}] = true
@@ -72,7 +72,7 @@ func TestRoutingStateSizeCountsEverything(t *testing.T) {
 
 func TestUnresolvedSwitchDropsData(t *testing.T) {
 	eng := sim.New(1)
-	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s := New(eng.NewProc(), 1, "sw", 4, ldp.Config{})
 	s.Start()
 	s.HandleFrame(0, &ether.Frame{Dst: ether.Addr{0, 1, 0, 0, 0, 1}, Type: ether.TypeIPv4, Payload: ether.Raw("x")})
 	if s.Stats.Dropped != 1 {
@@ -94,7 +94,7 @@ func TestSortInts(t *testing.T) {
 // switch's dataplane.
 func BenchmarkForwardUnicast(b *testing.B) {
 	eng := sim.New(1)
-	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s := New(eng.NewProc(), 1, "sw", 4, ldp.Config{})
 	// Hand-resolve as a core switch with live down neighbors so the
 	// frame has somewhere to go without a full fabric.
 	s.Start()
@@ -140,7 +140,7 @@ func (s *sink) HandleFrame(_ int, f *ether.Frame) { s.n++; s.eng.FramePool().Put
 // in steady state. Must be 0 allocs/op (Makefile bench-alloc gate).
 func BenchmarkForwardUnicastHit(b *testing.B) {
 	eng := sim.New(1)
-	s := New(eng, 1, "sw", 4, ldp.Config{})
+	s := New(eng.NewProc(), 1, "sw", 4, ldp.Config{})
 	s.Start()
 	for p := 0; p < 4; p++ {
 		s.agent.HandleLDP(p, &ldp.Packet{Kind: ldp.KindLDM, Switch: ctrlmsg.SwitchID(p + 10),

@@ -69,8 +69,8 @@ func TestLinkSendAllocFree(t *testing.T) {
 	if avg != 0 {
 		t.Fatalf("Link.Send+deliver allocates %.1f objects per frame; want 0", avg)
 	}
-	if l.Drops != 0 {
-		t.Fatalf("unexpected drops: %d", l.Drops)
+	if l.Drops() != 0 {
+		t.Fatalf("unexpected drops: %d", l.Drops())
 	}
 }
 

@@ -70,8 +70,8 @@ func BenchmarkLinkSend(b *testing.B) {
 		l.Send(a, f)
 		e.Run()
 	}
-	if int(l.Delivered) != b.N+1 {
-		b.Fatalf("delivered %d/%d", l.Delivered, b.N+1)
+	if int(l.Delivered()) != b.N+1 {
+		b.Fatalf("delivered %d/%d", l.Delivered(), b.N+1)
 	}
 }
 
@@ -91,7 +91,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		}
 	}
 	e.Run()
-	if int(l.Delivered) != b.N {
-		b.Fatalf("delivered %d/%d", l.Delivered, b.N)
+	if int(l.Delivered()) != b.N {
+		b.Fatalf("delivered %d/%d", l.Delivered(), b.N)
 	}
 }

@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"portland/internal/ether"
+)
+
+// Domain is a set of engine shards advancing in lockstep epochs.
+//
+// The fabric's parallelism comes from classic conservative-lookahead
+// discrete-event simulation: shards only influence each other through
+// links (and control pipes) with a positive propagation delay, so if L
+// is the minimum cross-shard delay, every shard can run the window
+// [W0, W0+L) without synchronizing — a frame sent at t in the window
+// arrives at t+delay >= W0+L, i.e. at or after the next barrier.
+// Cross-shard handoffs are buffered in per-(src,dst) mailboxes and
+// drained at the barrier, in deterministic (src shard, send order)
+// order; the events they enqueue then interleave with shard-local work
+// purely by the mode-independent (at, key) order, which is what makes
+// a sharded run byte-identical to the serial one (see proc.go).
+//
+// Events that must observe or mutate several shards at one instant
+// (fault injection, scenario brackets, driver tickers) ride the
+// Domain's exclusive stream: the window planner never runs a shard
+// past an exclusive timestamp, and at that instant every shard is
+// parked at the same virtual time while exclusive and shard-local
+// events merge-execute single-threaded in global (at, key) order.
+//
+// A Domain with one shard degenerates to exactly the serial engine:
+// exclusive events inline into the single engine's queue and RunUntil
+// delegates, so "serial" in the identity gates is Domain(1), running
+// the very same code protocol-side.
+type Domain struct {
+	seed    uint64
+	engines []*Engine
+	ranks   *rankSpace
+	drv     *Proc     // the exclusive stream's identity (rank 1)
+	excl    eventHeap // pending exclusive events (multi-shard mode only)
+
+	// look is the conservative lookahead: the minimum registered
+	// cross-shard delay. Zero means no cross-shard coupling has been
+	// wired, in which case windows are unbounded.
+	look time.Duration
+
+	out     []xmailbox // cross-shard mailboxes, indexed [src*shards+dst]
+	workers int
+	counts  []int // per-shard event counts for one parallel window
+}
+
+// xrec is one cross-shard handoff: a frame delivery for a link
+// direction, or (dir == nil) a plain callback such as a control-pipe
+// delivery. The tie-break key was issued on the sending shard from the
+// target entity's stream, so it is the same key the serial run uses.
+type xrec struct {
+	at  time.Duration
+	seq uint64
+	dir *direction
+	f   *ether.Frame
+	fn  func()
+}
+
+type xmailbox struct {
+	recs []xrec
+}
+
+// mailboxCap is the initial per-mailbox capacity. Boxes are reused
+// every epoch; a burst beyond the initial capacity grows the box once
+// and the larger capacity sticks for the run (amortized fixed size —
+// see DESIGN.md §9 for why a hard cap with drop-or-stall semantics
+// would break both determinism and the lossless-link contract).
+const mailboxCap = 256
+
+// NewDomain returns a Domain of `shards` engine shards sharing one
+// rank space, with shard 0's root PRNG seeded exactly as New(seed)
+// would (so driver code drawing from Engine(0) behaves identically to
+// a standalone engine run).
+func NewDomain(seed uint64, shards int) *Domain {
+	if shards < 1 {
+		shards = 1
+	}
+	d := &Domain{
+		seed:    seed,
+		ranks:   &rankSpace{seed: seed, next: 1},
+		workers: runtime.GOMAXPROCS(0),
+		counts:  make([]int, shards),
+	}
+	d.engines = make([]*Engine, shards)
+	for i := range d.engines {
+		s := seed
+		if i > 0 {
+			s = seed ^ (uint64(i) * 0x9e3779b97f4a7c15)
+		}
+		e := New(s)
+		e.ranks = d.ranks
+		e.dom = d
+		e.shard = i
+		d.engines[i] = e
+	}
+	d.out = make([]xmailbox, shards*shards)
+	d.drv = d.engines[0].NewProc()
+	return d
+}
+
+// Shards returns the number of engine shards.
+func (d *Domain) Shards() int { return len(d.engines) }
+
+// Engine returns shard i's engine.
+func (d *Domain) Engine(i int) *Engine { return d.engines[i] }
+
+// SetWorkers bounds how many OS threads advance shards concurrently
+// within one epoch. Results are identical for every worker count —
+// shards share nothing inside a window — so this is purely a
+// performance knob (default: GOMAXPROCS).
+func (d *Domain) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.workers = n
+}
+
+// EffectiveWorkers reports how many workers an epoch actually uses:
+// the configured worker bound capped by the shard count.
+func (d *Domain) EffectiveWorkers() int {
+	if d.workers < len(d.engines) {
+		return d.workers
+	}
+	return len(d.engines)
+}
+
+// Lookahead returns the conservative lookahead (minimum registered
+// cross-shard delay), or 0 if no cross-shard coupling is wired.
+func (d *Domain) Lookahead() time.Duration { return d.look }
+
+// RegisterLatency declares a coupling between two shards with the
+// given one-way delay, shrinking the lookahead. Same-shard couplings
+// are free and ignored; a zero-delay cross-shard coupling is rejected
+// because it would force zero-width epochs.
+func (d *Domain) RegisterLatency(a, b *Engine, delay time.Duration) {
+	if a == b {
+		return
+	}
+	if a.dom != d || b.dom != d {
+		panic("sim: RegisterLatency across domains")
+	}
+	if delay <= 0 {
+		panic(fmt.Sprintf("sim: cross-shard coupling needs positive delay, got %v", delay))
+	}
+	if d.look == 0 || delay < d.look {
+		d.look = delay
+	}
+}
+
+// Now returns the domain's virtual time (shard clocks agree whenever
+// the domain is at rest between RunUntil calls).
+func (d *Domain) Now() time.Duration { return d.engines[0].now }
+
+// Rand returns the exclusive stream's deterministic PRNG.
+func (d *Domain) Rand() *rand.Rand { return d.drv.rng }
+
+// Schedule runs fn after delay dl on the exclusive stream: at fn's
+// instant every shard is parked at the same virtual time and fn may
+// touch any of them.
+func (d *Domain) Schedule(dl time.Duration, fn func()) {
+	if dl < 0 {
+		dl = 0
+	}
+	d.ScheduleAt(d.Now()+dl, fn)
+}
+
+// ScheduleAt is Schedule with an absolute timestamp (clamped to now).
+func (d *Domain) ScheduleAt(t time.Duration, fn func()) {
+	if t < d.Now() {
+		t = d.Now()
+	}
+	ev := event{at: t, seq: d.drv.key(), fn: fn}
+	if len(d.engines) == 1 {
+		// Single shard: every instant is exclusive; inline into the
+		// engine's queue, where the key yields the same global order
+		// the multi-shard merge would.
+		d.engines[0].enqueue(ev)
+		return
+	}
+	d.excl.push(ev)
+}
+
+// NewTimer returns a timer whose expiries run exclusively.
+func (d *Domain) NewTimer(fn func()) *Timer { return newTimer(d, fn) }
+
+// NewTicker returns a ticker whose ticks run exclusively; jitter draws
+// from the exclusive stream's PRNG.
+func (d *Domain) NewTicker(interval, jitter time.Duration, fn func()) *Ticker {
+	return newTicker(d, d.drv.rng, interval, jitter, fn)
+}
+
+func (d *Domain) nowT() time.Duration                     { return d.Now() }
+func (d *Domain) scheduleAtFn(t time.Duration, fn func()) { d.ScheduleAt(t, fn) }
+
+// Pending returns the number of queued events across all shards, the
+// exclusive stream, and undrained mailboxes.
+func (d *Domain) Pending() int {
+	n := len(d.excl)
+	for _, e := range d.engines {
+		n += e.queued
+	}
+	for i := range d.out {
+		n += len(d.out[i].recs)
+	}
+	return n
+}
+
+// sendFrame buffers a cross-shard frame delivery in the (src, dst)
+// mailbox. Called on the transmitting shard inside a window; the
+// record is drained into the receiving shard at the next barrier.
+func (d *Domain) sendFrame(src *Engine, dir *direction, at time.Duration, seq uint64, f *ether.Frame) {
+	box := &d.out[src.shard*len(d.engines)+dir.rxEng.shard]
+	if box.recs == nil {
+		box.recs = make([]xrec, 0, mailboxCap)
+	}
+	box.recs = append(box.recs, xrec{at: at, seq: seq, dir: dir, f: f})
+}
+
+// sendFn buffers a cross-shard callback (control-pipe delivery) in the
+// (src, dst) mailbox.
+func (d *Domain) sendFn(src, dst *Engine, at time.Duration, seq uint64, fn func()) {
+	box := &d.out[src.shard*len(d.engines)+dst.shard]
+	if box.recs == nil {
+		box.recs = make([]xrec, 0, mailboxCap)
+	}
+	box.recs = append(box.recs, xrec{at: at, seq: seq, fn: fn})
+}
+
+// drainMail moves every buffered cross-shard record into its receiving
+// shard's queue, in (src shard, send order) order. The enqueue itself
+// re-establishes global (at, key) order, so drain order affects
+// nothing observable; it is fixed anyway so the loop is deterministic.
+// A record timestamped before its receiver's clock means the epoch
+// that produced it was wider than the lookahead allows — the barrier
+// invariant FuzzShardBarrier pins — and is a hard bug, not a condition
+// to tolerate.
+func (d *Domain) drainMail() {
+	n := len(d.engines)
+	for si := 0; si < n; si++ {
+		for di := 0; di < n; di++ {
+			box := &d.out[si*n+di]
+			if len(box.recs) == 0 {
+				continue
+			}
+			rx := d.engines[di]
+			for k := range box.recs {
+				rec := &box.recs[k]
+				if rec.at < rx.now {
+					panic(fmt.Sprintf("sim: barrier violation: shard %d received an event for t=%v with clock at %v (lookahead %v)",
+						di, rec.at, rx.now, d.look))
+				}
+				if rec.dir != nil {
+					rec.dir.pushFrame(rec.f)
+					rx.enqueue(event{at: rec.at, seq: rec.seq, dir: rec.dir})
+				} else {
+					rx.enqueue(event{at: rec.at, seq: rec.seq, fn: rec.fn})
+				}
+			}
+			clear(box.recs)
+			box.recs = box.recs[:0]
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline across all
+// shards and leaves every shard clock exactly at the deadline. It is
+// the domain analogue of Engine.RunUntil and returns the number of
+// events executed.
+func (d *Domain) RunUntil(deadline time.Duration) int {
+	if len(d.engines) == 1 {
+		return d.engines[0].RunUntil(deadline)
+	}
+	n := 0
+	for {
+		d.drainMail()
+		// Exact global minimum next timestamp.
+		m := time.Duration(0)
+		found := false
+		for _, e := range d.engines {
+			if t, ok := e.NextAt(); ok && (!found || t < m) {
+				m, found = t, true
+			}
+		}
+		exclAt := time.Duration(0)
+		haveExcl := len(d.excl) > 0
+		if haveExcl {
+			exclAt = d.excl[0].at
+			if !found || exclAt < m {
+				m, found = exclAt, true
+			}
+		}
+		if !found || m > deadline {
+			for _, e := range d.engines {
+				if e.now < deadline {
+					e.now = deadline
+				}
+			}
+			return n
+		}
+		if haveExcl && exclAt == m {
+			// Exclusive instant: park every shard at m and
+			// merge-execute in global (at, key) order.
+			for _, e := range d.engines {
+				if e.now < m {
+					e.now = m
+				}
+			}
+			n += d.runInstant(m)
+			continue
+		}
+		// One conservative epoch: [m, limit) with limit - m <= lookahead,
+		// also clipped at the next exclusive instant and just past the
+		// deadline (so deadline-stamped events fire, per RunUntil's
+		// inclusive contract).
+		limit := deadline + 1
+		if d.look > 0 && m+d.look < limit {
+			limit = m + d.look
+		}
+		if haveExcl && exclAt < limit {
+			limit = exclAt
+		}
+		clockTo := limit
+		if clockTo > deadline {
+			clockTo = deadline
+		}
+		n += d.runWindow(limit, clockTo)
+	}
+}
+
+// runInstant merge-executes every event stamped exactly m — exclusive
+// events and all shards' local events — single-threaded in global
+// (at, key) order. Fired events may schedule more work at m (on any
+// shard: with every clock parked at m, cross-shard scheduling is safe
+// here and only here); the loop re-scans until the instant is clean.
+func (d *Domain) runInstant(m time.Duration) int {
+	n := 0
+	for {
+		var bestEng *Engine
+		bestSeq := uint64(0)
+		fromExcl := false
+		found := false
+		if len(d.excl) > 0 && d.excl[0].at == m {
+			bestSeq, fromExcl, found = d.excl[0].seq, true, true
+		}
+		for _, e := range d.engines {
+			if at, seq, ok := e.head(); ok && at == m && (!found || seq < bestSeq) {
+				bestEng, bestSeq, fromExcl, found = e, seq, false, true
+			}
+		}
+		if !found {
+			return n
+		}
+		if fromExcl {
+			ev := d.excl.pop()
+			ev.fire()
+		} else {
+			bestEng.fireHead()
+		}
+		n++
+	}
+}
+
+// runWindow advances every shard through one epoch: events < limit
+// fire shard-locally, then clocks park at clockTo. With more than one
+// worker, shards advance on separate goroutines; they share nothing
+// inside a window, so the result is identical for any worker count.
+func (d *Domain) runWindow(limit, clockTo time.Duration) int {
+	w := d.workers
+	if w > len(d.engines) {
+		w = len(d.engines)
+	}
+	if w <= 1 {
+		n := 0
+		for _, e := range d.engines {
+			n += e.runSpan(limit, clockTo)
+		}
+		return n
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := worker; j < len(d.engines); j += w {
+				d.counts[j] = d.engines[j].runSpan(limit, clockTo)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	for i := range d.counts {
+		n += d.counts[i]
+		d.counts[i] = 0
+	}
+	return n
+}
+
+// ScheduleOn schedules fn at absolute time t on the target engine,
+// keyed by this Proc's stream. Same-engine targets enqueue directly;
+// cross-shard targets ride the domain mailbox and must respect the
+// lookahead (t at least one cross-shard delay in the future), which
+// holds by construction for control-pipe deliveries — the only caller.
+func (p *Proc) ScheduleOn(target *Engine, t time.Duration, fn func()) {
+	if target == p.eng {
+		p.ScheduleAt(t, fn)
+		return
+	}
+	d := p.eng.dom
+	if d == nil || target.dom != d {
+		panic("sim: ScheduleOn across unrelated engines")
+	}
+	p.eng.dom.sendFn(p.eng, target, t, p.key(), fn)
+}

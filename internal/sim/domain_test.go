@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Synthetic shard net
+//
+// A tiny message-passing network built straight on the Domain API: N
+// entities spread round-robin across shards, exchanging callbacks via
+// Proc.ScheduleOn with delays at or above the registered lookahead.
+// Every entity keeps a private log appended only from its own shard, so
+// the harness itself is data-race-free under concurrent windows; the
+// concatenation of all logs (plus the exclusive stream's log) is the
+// observable trace the identity tests compare across shard counts.
+// ---------------------------------------------------------------------------
+
+type snode struct {
+	id   int
+	p    *Proc
+	look time.Duration
+	log  []string
+}
+
+type snet struct {
+	d     *Domain
+	nodes []*snode
+	// xlog is appended only from exclusive events, which run
+	// single-threaded with every shard parked — no lock needed.
+	xlog []string
+}
+
+// newSnet builds a Domain with the given shard count and a synthetic
+// net of `n` entities. Entity i lives on shard i%shards; construction
+// order (and therefore every rank and RNG stream) is identical for
+// every layout.
+func newSnet(seed uint64, shards, n int, look time.Duration) *snet {
+	d := NewDomain(seed, shards)
+	net := &snet{d: d}
+	for i := 0; i < n; i++ {
+		e := d.Engine(i % d.Shards())
+		net.nodes = append(net.nodes, &snode{id: i, p: e.NewProc(), look: look})
+	}
+	for i := 1; i < d.Shards(); i++ {
+		d.RegisterLatency(d.Engine(0), d.Engine(i), look)
+	}
+	return net
+}
+
+// send forwards a bounded chain: pick the next hop and an extra delay
+// from this entity's own stream, then hand the callback off with a
+// timestamp at least one lookahead in the future (the contract every
+// cross-shard coupling must meet).
+func (n *snode) send(net *snet, hops int) {
+	if hops <= 0 {
+		return
+	}
+	dst := net.nodes[n.p.Rand().IntN(len(net.nodes))]
+	extra := time.Duration(n.p.Rand().IntN(7)) * 50 * time.Microsecond
+	at := n.p.Now() + n.look + extra
+	from := n.id
+	n.p.ScheduleOn(dst.p.Engine(), at, func() {
+		// The barrier invariant, observed from the receiver: a handoff
+		// fires exactly at its timestamp — never early (the epoch that
+		// produced it ended before `at`) and never late (the receiver's
+		// clock cannot have passed `at` when the mailbox drained).
+		if now := dst.p.Now(); now != at {
+			panic(fmt.Sprintf("sim: handoff for t=%v fired at %v", at, now))
+		}
+		dst.recv(net, from, hops-1)
+	})
+}
+
+func (n *snode) recv(net *snet, from, hops int) {
+	n.log = append(n.log, fmt.Sprintf("%d<-%d@%d h=%d", n.id, from, n.p.Now(), hops))
+	n.send(net, hops)
+}
+
+// trace renders the full observable state: the exclusive stream's log,
+// then every entity's log in construction order.
+func (net *snet) trace() string {
+	var b strings.Builder
+	for _, l := range net.xlog {
+		fmt.Fprintf(&b, "x %s\n", l)
+	}
+	for _, n := range net.nodes {
+		fmt.Fprintf(&b, "node %d:", n.id)
+		for _, l := range n.log {
+			fmt.Fprintf(&b, " [%s]", l)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// runSyntheticTrace drives one fixed scenario — seeded chains, local
+// tickers, and periodic exclusive snapshots — and returns the trace.
+func runSyntheticTrace(seed uint64, shards int) string {
+	net := newSnet(seed, shards, 6, time.Millisecond)
+	d := net.d
+	d.SetWorkers(d.Shards()) // force the concurrent window path
+	for _, n := range net.nodes {
+		n := n
+		// Seed one chain per entity and a local ticker whose callback
+		// occasionally fans out another chain.
+		n.p.Schedule(time.Duration(n.id)*100*time.Microsecond, func() { n.send(net, 5) })
+		n.p.NewTicker(3*time.Millisecond, time.Millisecond, func() {
+			n.log = append(n.log, fmt.Sprintf("tick@%d", n.p.Now()))
+			if n.p.Rand().IntN(2) == 0 {
+				n.send(net, 2)
+			}
+		})
+	}
+	d.NewTicker(5*time.Millisecond, 0, func() {
+		// Exclusive snapshot across every shard at one instant: all
+		// clocks must be parked at the same virtual time.
+		total := 0
+		for _, n := range net.nodes {
+			if n.p.Now() != d.Now() {
+				panic(fmt.Sprintf("sim: shard clock %v != domain clock %v inside exclusive event", n.p.Now(), d.Now()))
+			}
+			total += len(n.log)
+		}
+		net.xlog = append(net.xlog, fmt.Sprintf("snap@%d total=%d", d.Now(), total))
+	})
+	d.RunUntil(40 * time.Millisecond)
+	return net.trace()
+}
+
+// TestDomainIdentitySynthetic is the sim-layer identity gate: the same
+// synthetic scenario must produce a byte-identical trace on one shard
+// (pure serial engine) and on every multi-shard layout.
+func TestDomainIdentitySynthetic(t *testing.T) {
+	serial := runSyntheticTrace(11, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial trace is empty; the scenario did nothing")
+	}
+	for _, shards := range []int{2, 3, 4, 6} {
+		if got := runSyntheticTrace(11, shards); got != serial {
+			t.Errorf("shards=%d trace diverges from serial (len %d vs %d)", shards, len(got), len(serial))
+		}
+	}
+}
+
+// TestDomainClockParking pins RunUntil's postcondition: every shard
+// clock sits exactly at the deadline afterwards, whether or not the
+// shard had any events, and repeated calls advance monotonically.
+func TestDomainClockParking(t *testing.T) {
+	net := newSnet(3, 3, 3, time.Millisecond)
+	d := net.d
+	net.nodes[0].p.Schedule(500*time.Microsecond, func() { net.nodes[0].send(net, 3) })
+	for _, deadline := range []time.Duration{2 * time.Millisecond, 7 * time.Millisecond, 7 * time.Millisecond} {
+		d.RunUntil(deadline)
+		if d.Now() != deadline {
+			t.Fatalf("domain clock = %v, want %v", d.Now(), deadline)
+		}
+		for i := 0; i < d.Shards(); i++ {
+			if got := d.Engine(i).Now(); got != deadline {
+				t.Fatalf("shard %d clock = %v, want %v", i, got, deadline)
+			}
+		}
+	}
+}
+
+// TestDomainExclusiveDeadline pins the inclusive-deadline contract for
+// the exclusive stream: an event stamped exactly at the deadline fires,
+// one just past it stays pending.
+func TestDomainExclusiveDeadline(t *testing.T) {
+	d := NewDomain(9, 2)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), time.Millisecond)
+	var fired []time.Duration
+	d.ScheduleAt(5*time.Millisecond, func() { fired = append(fired, d.Now()) })
+	d.ScheduleAt(5*time.Millisecond+1, func() { fired = append(fired, d.Now()) })
+	d.RunUntil(5 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 5*time.Millisecond {
+		t.Fatalf("fired = %v, want exactly the deadline-stamped event", fired)
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want the past-deadline event still queued", d.Pending())
+	}
+	d.RunUntil(6 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("past-deadline event never fired: %v", fired)
+	}
+}
+
+// TestDomainUncoupledShards: with no registered cross-shard coupling
+// the lookahead is zero and windows are unbounded — independent shards
+// run their local work in one epoch without ever synchronizing.
+func TestDomainUncoupledShards(t *testing.T) {
+	d := NewDomain(4, 3)
+	if d.Lookahead() != 0 {
+		t.Fatalf("lookahead = %v before any RegisterLatency", d.Lookahead())
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		p := d.Engine(i).NewProc()
+		p.NewTicker(time.Millisecond, 0, func() { counts[i]++ })
+	}
+	d.RunUntil(10 * time.Millisecond)
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("shard %d ticked %d times, want 10", i, c)
+		}
+	}
+}
+
+// TestRegisterLatencyRules pins the coupling rules: same-engine
+// couplings are free and ignored, zero-delay cross-shard couplings are
+// rejected, and the lookahead is the minimum registered delay.
+func TestRegisterLatencyRules(t *testing.T) {
+	d := NewDomain(1, 2)
+	d.RegisterLatency(d.Engine(0), d.Engine(0), 0) // same engine: ignored
+	if d.Lookahead() != 0 {
+		t.Fatalf("same-engine coupling changed lookahead to %v", d.Lookahead())
+	}
+	d.RegisterLatency(d.Engine(0), d.Engine(1), 4*time.Millisecond)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), 2*time.Millisecond)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), 3*time.Millisecond)
+	if d.Lookahead() != 2*time.Millisecond {
+		t.Fatalf("lookahead = %v, want the minimum registered delay 2ms", d.Lookahead())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay cross-shard coupling did not panic")
+		}
+	}()
+	d.RegisterLatency(d.Engine(0), d.Engine(1), 0)
+}
+
+// TestBarrierViolationPanics pins the failure mode the barrier guards
+// against: a cross-shard record timestamped before the receiver's clock
+// means an epoch outran the lookahead, and drainMail must refuse to
+// deliver it rather than silently reorder history.
+func TestBarrierViolationPanics(t *testing.T) {
+	d := NewDomain(2, 2)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), time.Millisecond)
+	p := d.Engine(0).NewProc()
+	d.RunUntil(2 * time.Millisecond) // park shard 1's clock at 2ms
+	// Forge a stale handoff behind the receiver's clock — something no
+	// correct caller can produce through ScheduleOn.
+	d.sendFn(d.Engine(0), d.Engine(1), time.Millisecond, p.key(), func() {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stale cross-shard record was delivered without panicking")
+		}
+		if !strings.Contains(fmt.Sprint(r), "barrier violation") {
+			t.Fatalf("panic = %v, want a barrier violation", r)
+		}
+	}()
+	d.RunUntil(3 * time.Millisecond)
+}
+
+// ---------------------------------------------------------------------------
+// FuzzShardBarrier
+//
+// The fuzzer interprets its input as a little scenario script — seeded
+// message chains, tickers, exclusive events at arbitrary byte-derived
+// timestamps — and runs it on one shard and on several. Two invariants
+// are checked on every input: no event is ever delivered before the
+// barrier that covers it (the receiver-side timestamp assertion in
+// snode.send plus drainMail's own panic), and the multi-shard traces
+// are byte-identical to the serial one.
+// ---------------------------------------------------------------------------
+
+// runBarrierScript executes one fuzz script on the given shard count
+// and returns the observable trace.
+func runBarrierScript(seed uint64, shards int, script []byte) string {
+	const nodes = 5
+	look := time.Millisecond
+	net := newSnet(seed, shards, nodes, look)
+	d := net.d
+	d.SetWorkers(d.Shards())
+	for i := 0; i+2 < len(script); i += 3 {
+		op, a, b := script[i], script[i+1], script[i+2]
+		n := net.nodes[int(a)%nodes]
+		at := time.Duration(b) * 50 * time.Microsecond
+		switch op % 4 {
+		case 0:
+			// A chain seeded from inside a shard-local event: the sends
+			// it triggers happen mid-window, the case the barrier math
+			// actually protects.
+			hops := int(op)%5 + 1
+			n.p.ScheduleAt(at, func() { n.send(net, hops) })
+		case 1:
+			// An exclusive event at a byte-derived instant: forces the
+			// window planner to clip epochs at arbitrary timestamps.
+			d.ScheduleAt(at, func() {
+				net.xlog = append(net.xlog, fmt.Sprintf("x@%d a=%d", d.Now(), a))
+			})
+		case 2:
+			// A ticker: a steady local event source whose period need
+			// not divide the lookahead.
+			iv := time.Duration(int(b)%23+1) * 100 * time.Microsecond
+			n.p.NewTicker(iv, 0, func() {
+				n.log = append(n.log, fmt.Sprintf("t@%d", n.p.Now()))
+			})
+		case 3:
+			// A minimum-lookahead handoff seeded straight from setup:
+			// arrival lands exactly on an epoch barrier.
+			n.p.ScheduleAt(at, func() { n.send(net, 1) })
+		}
+	}
+	d.RunUntil(20 * time.Millisecond)
+	return net.trace()
+}
+
+// FuzzShardBarrier fuzzes the epoch/barrier machinery: for every
+// generated scenario, no cross-shard event may be delivered before the
+// barrier that covers it, and the sharded trace must be byte-identical
+// to the serial one.
+func FuzzShardBarrier(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 0, 0})
+	f.Add(uint64(7), []byte{0, 1, 19, 1, 2, 19, 2, 3, 5, 3, 4, 20})
+	f.Add(uint64(42), []byte{3, 0, 20, 3, 1, 20, 1, 0, 20, 0, 2, 40, 2, 1, 7})
+	f.Add(uint64(1234567), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 96 {
+			script = script[:96] // bound scenario size, not coverage
+		}
+		serial := runBarrierScript(seed, 1, script)
+		for _, shards := range []int{2, 4} {
+			if got := runBarrierScript(seed, shards, script); got != serial {
+				t.Fatalf("shards=%d trace diverges from serial:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
+			}
+		}
+	})
+}

@@ -178,13 +178,24 @@ type Engine struct {
 	// this engine shares it, and nothing outside this engine ever
 	// touches it (the determinism-under-parallelism contract).
 	pool ether.FramePool
+
+	// ranks allocates entity tie-break ranks (see proc.go). Private to
+	// this engine when standalone; shared across all shards of a Domain.
+	ranks *rankSpace
+
+	// dom/shard identify this engine's place in a Domain, when it is a
+	// shard of one (dom nil otherwise). Link.Send uses them to route
+	// cross-shard deliveries through the Domain's mailboxes.
+	dom   *Domain
+	shard int
 }
 
 // New returns an engine whose PRNG is seeded with seed.
 func New(seed uint64) *Engine {
 	return &Engine{
-		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-		free: -1,
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		free:  -1,
+		ranks: &rankSpace{seed: seed, next: 1},
 	}
 }
 
@@ -485,9 +496,97 @@ func (e *Engine) RunUntil(deadline time.Duration) int {
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.queued }
 
+// NextAt returns the exact timestamp of the earliest queued event. It
+// may advance the wheel base to stage that event into the due heap —
+// safe at any point between events, because enqueue files ticks <= base
+// into the exactly-ordered due heap — but executes nothing and never
+// moves the clock. The Domain's window planner uses it to size each
+// lockstep epoch to the true global minimum instead of a bucket lower
+// bound (which would crawl across sparse gaps one window at a time).
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if e.queued == 0 {
+		return 0, false
+	}
+	if len(e.due) == 0 {
+		e.advance()
+	}
+	return e.due[0].at, true
+}
+
+// head returns the (at, seq) key of the earliest queued event without
+// removing it.
+func (e *Engine) head() (time.Duration, uint64, bool) {
+	if e.queued == 0 {
+		return 0, 0, false
+	}
+	if len(e.due) == 0 {
+		e.advance()
+	}
+	return e.due[0].at, e.due[0].seq, true
+}
+
+// fireHead pops and executes the earliest queued event, moving the
+// clock to its timestamp. The Domain's exclusive-instant interleave
+// uses it to merge-execute same-instant events across shards in global
+// (at, seq) order.
+func (e *Engine) fireHead() {
+	if len(e.due) == 0 {
+		e.advance()
+	}
+	ev := e.due.pop()
+	e.queued--
+	if e.shadow != nil {
+		e.checkShadow(ev)
+	}
+	e.now = ev.at
+	ev.fire()
+}
+
+// runSpan executes every event with timestamp < limit and then moves
+// the clock to clockTo (no-op if the clock is already past it). It is
+// the per-shard body of one Domain epoch: the strict bound is what lets
+// events *at* the next barrier wait for mailbox handoff, while clockTo
+// lets the caller park the clock at the barrier (or at an inclusive
+// run deadline) without firing anything there.
+func (e *Engine) runSpan(limit, clockTo time.Duration) int {
+	n := 0
+	for e.queued > 0 {
+		if len(e.due) == 0 {
+			e.advance()
+		}
+		if e.due[0].at >= limit {
+			break
+		}
+		next := e.due.pop()
+		e.queued--
+		if e.shadow != nil {
+			e.checkShadow(next)
+		}
+		e.now = next.at
+		next.fire()
+		n++
+	}
+	if e.now < clockTo {
+		e.now = clockTo
+	}
+	return n
+}
+
+// schedAt is the internal hook Timer and Ticker are built on; it is
+// implemented by Engine (root-stream keys), Proc (entity keys) and
+// Domain (exclusive keys), so the same timer machinery serves all
+// three without caring which stream its events ride.
+type schedAt interface {
+	nowT() time.Duration
+	scheduleAtFn(t time.Duration, fn func())
+}
+
+func (e *Engine) nowT() time.Duration                     { return e.now }
+func (e *Engine) scheduleAtFn(t time.Duration, fn func()) { e.ScheduleAt(t, fn) }
+
 // Timer is a cancellable, reschedulable one-shot timer.
 type Timer struct {
-	eng      *Engine
+	s        schedAt
 	deadline time.Duration
 	armed    bool
 	fn       func()
@@ -495,13 +594,17 @@ type Timer struct {
 }
 
 // NewTimer returns an unarmed timer that will call fn when it fires.
-func (e *Engine) NewTimer(fn func()) *Timer {
-	t := &Timer{eng: e, fn: fn}
+// Its expiry events ride the engine's root stream; Domain-backed code
+// should use Proc.NewTimer instead.
+func (e *Engine) NewTimer(fn func()) *Timer { return newTimer(e, fn) }
+
+func newTimer(s schedAt, fn func()) *Timer {
+	t := &Timer{s: s, fn: fn}
 	// A stale scheduled fire (superseded by a later Reset, or
 	// disarmed by Stop) identifies itself by its instant not matching
 	// the current deadline; only the live one passes both checks.
 	t.fire = func() {
-		if !t.armed || t.eng.now != t.deadline {
+		if !t.armed || t.s.nowT() != t.deadline {
 			return
 		}
 		t.armed = false
@@ -515,9 +618,9 @@ func (t *Timer) Reset(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	t.deadline = t.eng.now + d
+	t.deadline = t.s.nowT() + d
 	t.armed = true
-	t.eng.ScheduleAt(t.deadline, t.fire)
+	t.s.scheduleAtFn(t.deadline, t.fire)
 }
 
 // Stop disarms the timer; a pending expiry will not fire.
@@ -530,7 +633,7 @@ func (t *Timer) Armed() bool { return t.armed }
 
 // Ticker invokes fn every interval until stopped.
 type Ticker struct {
-	eng      *Engine
+	s        schedAt
 	interval time.Duration
 	stopped  bool
 	fn       func()
@@ -539,17 +642,23 @@ type Ticker struct {
 // NewTicker starts a ticker with the given interval. The first tick is
 // after one full interval unless jitter > 0, in which case the first
 // tick is after a uniform random fraction of jitter (used to de-phase
-// periodic protocols such as LDP keepalives).
+// periodic protocols such as LDP keepalives). Tick events ride the
+// engine's root stream and the jitter draws from the root PRNG;
+// Domain-backed code should use Proc.NewTicker instead.
 func (e *Engine) NewTicker(interval, jitter time.Duration, fn func()) *Ticker {
+	return newTicker(e, e.rng, interval, jitter, fn)
+}
+
+func newTicker(s schedAt, rng *rand.Rand, interval, jitter time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
 	}
-	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t := &Ticker{s: s, interval: interval, fn: fn}
 	first := interval
 	if jitter > 0 {
-		first = time.Duration(e.rng.Int64N(int64(jitter))) + 1
+		first = time.Duration(rng.Int64N(int64(jitter))) + 1
 	}
-	e.Schedule(first, t.tick)
+	s.scheduleAtFn(s.nowT()+first, t.tick)
 	return t
 }
 
@@ -561,7 +670,7 @@ func (t *Ticker) tick() {
 	if t.stopped { // fn may stop the ticker
 		return
 	}
-	t.eng.Schedule(t.interval, t.tick)
+	t.s.scheduleAtFn(t.s.nowT()+t.interval, t.tick)
 }
 
 // Stop halts the ticker.

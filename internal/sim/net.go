@@ -69,8 +69,19 @@ type DirStats struct {
 // delivered Delay later. Links can be administratively or
 // failure-injected down, which silently discards frames — exactly what
 // higher layers must detect via LDP timeouts.
+//
+// A link runs in one of two modes, fixed at wiring time. The legacy
+// mode (Connect) lives on a single engine and keeps the original
+// semantics: loss coins are flipped at send time from the engine's
+// root PRNG and delivery ties use the root counter. The domain mode
+// (Domain.Connect) may span two shards; each direction then owns a
+// Proc of its *receiving* shard (wire-loss coins are flipped at
+// delivery time from that stream — physically, corruption is observed
+// by the receiver's CRC check), the transmitter tracks its own queue
+// occupancy by serialization-end times, and counters are split into
+// transmitter-owned and receiver-owned halves so the two shards never
+// write the same word.
 type Link struct {
-	eng *Engine
 	cfg LinkConfig
 
 	a, b endpoint
@@ -83,25 +94,9 @@ type Link struct {
 	// delivered to a receiver (after queueing and propagation). The
 	// frame is valid only for the duration of the call; taps must not
 	// retain it (delivered frames may return to the engine's pool).
+	// On a cross-shard link the tap runs on the receiving shard and
+	// must touch only receiver-shard (or immutable) state.
 	Tap func(f *ether.Frame)
-
-	// Drops counts every lost frame — the sum of the per-cause
-	// counters below.
-	Drops int64
-	// QueueDrops counts drop-tail losses: the egress queue was at
-	// QueueFrames when the frame arrived.
-	QueueDrops int64
-	// LossDrops counts frames discarded by the random LossRate coin.
-	LossDrops int64
-	// GrayDrops counts frames discarded by a per-direction gray-loss
-	// rate (SetGrayLoss) while the link stayed administratively up —
-	// the failure mode LDP keepalives cannot see.
-	GrayDrops int64
-	// DownDrops counts frames discarded because the link was down,
-	// either at send time or while in flight.
-	DownDrops int64
-	// Delivered counts frames handed to a receiver.
-	Delivered int64
 }
 
 type endpoint struct {
@@ -122,14 +117,43 @@ type direction struct {
 	busyUntil time.Duration
 	queued    int // frames in the ring == scheduled, undelivered
 
+	// txEng/rxEng are the engines of the transmitting and receiving
+	// endpoints (equal on a same-shard or legacy link).
+	txEng *Engine
+	rxEng *Engine
+
+	// proc is the direction's scheduling identity in domain mode (nil
+	// on legacy links). Its counter is advanced at send time by the
+	// transmitting shard; its PRNG is drawn at delivery time by the
+	// receiving shard. The fields are disjoint and the phases cannot
+	// overlap (a delivery is at least one lookahead after its send),
+	// so the shared struct is race-free.
+	proc *Proc
+
 	// grayRate drops each non-LDP frame independently with this
 	// probability while the link is up. LDP keepalives are tiny and
 	// survive the corruption modes gray failures model (dirty optics,
 	// shallow-buffer ASIC faults), so they pass — exactly the
 	// liveness-protocol blind spot the detector exists for.
 	grayRate float64
-	// stats is this direction's per-cause outcome tally.
-	stats DirStats
+
+	// tx tallies outcomes decided at the transmitter (QueueDrops,
+	// send-time DownDrops); rx tallies outcomes decided at the
+	// receiver (Delivered, LossDrops, GrayDrops, in-flight
+	// DownDrops). Separate structs because in domain mode they are
+	// written by different shards.
+	tx DirStats
+	rx DirStats
+
+	// serEnds tracks, in domain mode, the serialization-end time of
+	// every frame the transmitter has accepted: the egress queue
+	// occupancy at time t is the count of entries > t. The legacy
+	// mode counts the in-flight ring instead, but in domain mode the
+	// ring is popped by the receiving shard and must not feed back
+	// into transmit decisions.
+	serEnds []time.Duration
+	serHead int
+	serLen  int
 
 	// inflight is a circular buffer of queued frames; head indexes the
 	// oldest. Capacity grows on demand and is reused thereafter, so
@@ -138,16 +162,17 @@ type direction struct {
 	head     int
 }
 
-// pushFrame appends f to the in-flight ring, growing it if full.
+// pushFrame appends f to the in-flight ring, growing it if full. Ring
+// sizes are powers of two; wrap is a mask (once per frame hop).
 func (d *direction) pushFrame(f *ether.Frame) {
 	if d.queued == len(d.inflight) {
 		grown := make([]*ether.Frame, max(8, 2*len(d.inflight)))
 		for i := 0; i < d.queued; i++ {
-			grown[i] = d.inflight[(d.head+i)%len(d.inflight)]
+			grown[i] = d.inflight[(d.head+i)&(len(d.inflight)-1)]
 		}
 		d.inflight, d.head = grown, 0
 	}
-	d.inflight[(d.head+d.queued)%len(d.inflight)] = f
+	d.inflight[(d.head+d.queued)&(len(d.inflight)-1)] = f
 	d.queued++
 }
 
@@ -155,19 +180,65 @@ func (d *direction) pushFrame(f *ether.Frame) {
 func (d *direction) popFrame() *ether.Frame {
 	f := d.inflight[d.head]
 	d.inflight[d.head] = nil
-	d.head = (d.head + 1) % len(d.inflight)
+	d.head = (d.head + 1) & (len(d.inflight) - 1)
 	d.queued--
 	return f
 }
 
-// Connect wires (an,ap) to (bn,bp) with cfg and attaches both sides.
+// pushSer records a frame leaving the egress queue at time t (its
+// serialization end), growing the ring if full. Ring sizes are always
+// powers of two, so index wrap is a mask — this path runs once per
+// transmitted frame and shows up in steady-state profiles.
+func (d *direction) pushSer(t time.Duration) {
+	if d.serLen == len(d.serEnds) {
+		grown := make([]time.Duration, max(8, 2*len(d.serEnds)))
+		for i := 0; i < d.serLen; i++ {
+			grown[i] = d.serEnds[(d.serHead+i)&(len(d.serEnds)-1)]
+		}
+		d.serEnds, d.serHead = grown, 0
+	}
+	d.serEnds[(d.serHead+d.serLen)&(len(d.serEnds)-1)] = t
+	d.serLen++
+}
+
+// reapSer drops queue entries fully serialized by time now.
+func (d *direction) reapSer(now time.Duration) {
+	for d.serLen > 0 && d.serEnds[d.serHead] <= now {
+		d.serHead = (d.serHead + 1) & (len(d.serEnds) - 1)
+		d.serLen--
+	}
+}
+
+// Connect wires (an,ap) to (bn,bp) with cfg on a single engine and
+// attaches both sides (legacy single-engine mode).
 func Connect(e *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link {
+	return connect(e, e, an, ap, bn, bp, cfg, false)
+}
+
+// Connect wires (an,ap) on engine ea to (bn,bp) on engine eb in domain
+// mode: per-direction receiver-shard streams, delivery-time loss
+// coins, and transmitter-local queue accounting. A cross-shard link
+// registers its propagation delay as a lookahead bound.
+func (d *Domain) Connect(ea, eb *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link {
+	if ea.dom != d || eb.dom != d {
+		panic("sim: Domain.Connect with engines outside the domain")
+	}
+	l := connect(ea, eb, an, ap, bn, bp, cfg, true)
+	d.RegisterLatency(ea, eb, l.cfg.Delay)
+	return l
+}
+
+func connect(ea, eb *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig, domainMode bool) *Link {
 	if cfg.Rate == 0 {
 		cfg = DefaultLinkConfig
 	}
-	l := &Link{eng: e, cfg: cfg, a: endpoint{an, ap}, b: endpoint{bn, bp}, up: true}
-	l.ab = direction{link: l, toB: true}
-	l.ba = direction{link: l}
+	l := &Link{cfg: cfg, a: endpoint{an, ap}, b: endpoint{bn, bp}, up: true}
+	l.ab = direction{link: l, toB: true, txEng: ea, rxEng: eb}
+	l.ba = direction{link: l, txEng: eb, rxEng: ea}
+	if domainMode {
+		l.ab.proc = eb.NewProc()
+		l.ba.proc = ea.NewProc()
+	}
 	an.Attach(ap, l)
 	bn.Attach(bp, l)
 	return l
@@ -211,8 +282,53 @@ func (l *Link) GrayLoss() (rateToA, rateToB float64) {
 }
 
 // RxStats returns the per-cause counters of the direction delivering
-// to n — what n's NIC would observe on this port.
-func (l *Link) RxStats(n Node) DirStats { return l.dirTo(n).stats }
+// to n — what n's NIC would observe on this port. It merges the
+// transmitter- and receiver-owned halves, so on a cross-shard link it
+// is only coherent while the domain is at rest (between RunUntil
+// calls or at an exclusive instant); in-run shard code should use
+// RxWireErrs instead.
+func (l *Link) RxStats(n Node) DirStats {
+	d := l.dirTo(n)
+	s := d.rx
+	s.QueueDrops += d.tx.QueueDrops
+	s.DownDrops += d.tx.DownDrops
+	return s
+}
+
+// RxWireErrs returns the cumulative wire-error count (loss + gray
+// drops) of the direction delivering to n. These counters are owned
+// by n's own shard — they are exactly what n's NIC CRC check counts —
+// so unlike RxStats this is safe for n's protocol code to sample
+// mid-run on a cross-shard link.
+func (l *Link) RxWireErrs(n Node) int64 {
+	d := l.dirTo(n)
+	return d.rx.LossDrops + d.rx.GrayDrops
+}
+
+// Delivered returns frames handed to a receiver, both directions.
+func (l *Link) Delivered() int64 { return l.ab.rx.Delivered + l.ba.rx.Delivered }
+
+// QueueDrops returns drop-tail losses at either egress queue.
+func (l *Link) QueueDrops() int64 { return l.ab.tx.QueueDrops + l.ba.tx.QueueDrops }
+
+// LossDrops returns frames discarded by the random LossRate coin.
+func (l *Link) LossDrops() int64 { return l.ab.rx.LossDrops + l.ba.rx.LossDrops }
+
+// GrayDrops returns frames discarded by a gray-loss rate (SetGrayLoss)
+// while the link stayed administratively up — the failure mode LDP
+// keepalives cannot see.
+func (l *Link) GrayDrops() int64 { return l.ab.rx.GrayDrops + l.ba.rx.GrayDrops }
+
+// DownDrops returns frames discarded because the link was down, either
+// at send time or while in flight.
+func (l *Link) DownDrops() int64 {
+	return l.ab.tx.DownDrops + l.ab.rx.DownDrops + l.ba.tx.DownDrops + l.ba.rx.DownDrops
+}
+
+// Drops returns every lost frame — the sum of the per-cause counters.
+func (l *Link) Drops() int64 {
+	return l.QueueDrops() + l.LossDrops() + l.GrayDrops() + l.DownDrops()
+}
 
 // Peer returns the node and port on the far side from n.
 func (l *Link) Peer(n Node) (Node, int) {
@@ -246,67 +362,113 @@ func (l *Link) Send(from Node, f *ether.Frame) {
 	default:
 		panic(fmt.Sprintf("sim: node %s not on link %s<->%s", from.Name(), l.a.node.Name(), l.b.node.Name()))
 	}
+	e := dir.txEng
 	if !l.up {
-		l.Drops++
-		l.DownDrops++
-		dir.stats.DownDrops++
-		l.eng.pool.Put(f)
+		dir.tx.DownDrops++
+		e.pool.Put(f)
 		return
 	}
+	if dir.proc != nil {
+		l.sendDomain(dir, e, f)
+		return
+	}
+	// Legacy single-engine path: original send-time coins and
+	// ring-count queue occupancy, keyed by the root stream.
+	//
 	// LDP keepalives ride a strict-priority control class that is never
 	// tail-dropped: real switches schedule control traffic above the
 	// data class, so congestion must not masquerade as a dead neighbor.
 	// (Detector probes deliberately stay in the data class — they exist
 	// to experience what data experiences.)
 	if dir.queued >= l.cfg.QueueFrames && f.Type != ether.TypeLDP {
-		l.Drops++
-		l.QueueDrops++
-		dir.stats.QueueDrops++
-		l.eng.pool.Put(f)
+		dir.tx.QueueDrops++
+		e.pool.Put(f)
 		return
 	}
-	if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
-		l.Drops++
-		l.LossDrops++
-		dir.stats.LossDrops++
-		l.eng.pool.Put(f)
+	if l.cfg.LossRate > 0 && e.Rand().Float64() < l.cfg.LossRate {
+		dir.rx.LossDrops++
+		e.pool.Put(f)
 		return
 	}
-	if dir.grayRate > 0 && f.Type != ether.TypeLDP && l.eng.Rand().Float64() < dir.grayRate {
-		l.Drops++
-		l.GrayDrops++
-		dir.stats.GrayDrops++
-		l.eng.pool.Put(f)
+	if dir.grayRate > 0 && f.Type != ether.TypeLDP && e.Rand().Float64() < dir.grayRate {
+		dir.rx.GrayDrops++
+		e.pool.Put(f)
 		return
 	}
 	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
-	start := l.eng.Now()
+	start := e.now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
 	}
 	dir.busyUntil = start + ser
 	dir.pushFrame(f)
-	l.eng.scheduleDelivery(dir.busyUntil+l.cfg.Delay, dir)
+	e.scheduleDelivery(dir.busyUntil+l.cfg.Delay, dir)
+}
+
+// sendDomain is the domain-mode transmit path: queue occupancy from
+// the transmitter's own serialization-end ring (the in-flight ring
+// belongs to the receiving shard), wire-loss coins deferred to
+// delivery, and the delivery key issued from the direction's stream so
+// the receiving shard orders it identically in serial and sharded
+// runs. Same-shard deliveries enqueue directly; cross-shard ones ride
+// the domain mailbox to the next epoch barrier.
+func (l *Link) sendDomain(dir *direction, e *Engine, f *ether.Frame) {
+	now := e.now
+	dir.reapSer(now)
+	// Same strict-priority control-class exemption as the legacy path.
+	if dir.serLen >= l.cfg.QueueFrames && f.Type != ether.TypeLDP {
+		dir.tx.QueueDrops++
+		e.pool.Put(f)
+		return
+	}
+	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	dir.busyUntil = start + ser
+	dir.pushSer(dir.busyUntil)
+	at := dir.busyUntil + l.cfg.Delay
+	seq := dir.proc.key()
+	if dir.rxEng == e {
+		dir.pushFrame(f)
+		e.enqueue(event{at: at, seq: seq, dir: dir})
+		return
+	}
+	e.dom.sendFrame(e, dir, at, seq, f)
 }
 
 // deliver completes the oldest in-flight frame on dir: it runs from
-// the engine's event loop as a value-typed delivery event (no
-// per-frame closure; see sim.event).
+// the receiving engine's event loop as a value-typed delivery event
+// (no per-frame closure; see sim.event).
 func (l *Link) deliver(dir *direction) {
 	f := dir.popFrame()
 	dst := l.a
 	if dir.toB {
 		dst = l.b
 	}
+	e := dir.rxEng
 	if !l.up { // failed while in flight
-		l.Drops++
-		l.DownDrops++
-		dir.stats.DownDrops++
-		l.eng.pool.Put(f)
+		dir.rx.DownDrops++
+		e.pool.Put(f)
 		return
 	}
-	l.Delivered++
-	dir.stats.Delivered++
+	if dir.proc != nil {
+		// Domain mode: wire-corruption coins at the receiver, from the
+		// direction's own stream — draw order equals delivery order,
+		// which is the same in serial and sharded runs.
+		if l.cfg.LossRate > 0 && dir.proc.rng.Float64() < l.cfg.LossRate {
+			dir.rx.LossDrops++
+			e.pool.Put(f)
+			return
+		}
+		if dir.grayRate > 0 && f.Type != ether.TypeLDP && dir.proc.rng.Float64() < dir.grayRate {
+			dir.rx.GrayDrops++
+			e.pool.Put(f)
+			return
+		}
+	}
+	dir.rx.Delivered++
 	if l.Tap != nil {
 		l.Tap(f)
 	}

@@ -213,12 +213,12 @@ func TestLinkQueueOverflowDrops(t *testing.T) {
 		l.Send(a, &ether.Frame{Payload: ether.Raw(make([]byte, 100))})
 	}
 	e.Run()
-	if len(b.got) != 2 || l.Drops != 3 {
-		t.Fatalf("delivered=%d drops=%d, want 2/3", len(b.got), l.Drops)
+	if len(b.got) != 2 || l.Drops() != 3 {
+		t.Fatalf("delivered=%d drops=%d, want 2/3", len(b.got), l.Drops())
 	}
-	if l.QueueDrops != 3 || l.LossDrops != 0 || l.DownDrops != 0 {
+	if l.QueueDrops() != 3 || l.LossDrops() != 0 || l.DownDrops() != 0 {
 		t.Fatalf("drop causes queue=%d loss=%d down=%d, want 3/0/0",
-			l.QueueDrops, l.LossDrops, l.DownDrops)
+			l.QueueDrops(), l.LossDrops(), l.DownDrops())
 	}
 }
 
@@ -237,17 +237,17 @@ func TestLinkDropAccountingByCause(t *testing.T) {
 	l.SetUp(false)
 	l.Send(a, &ether.Frame{Payload: ether.Raw("y")})
 	e.Run()
-	if l.LossDrops == 0 {
+	if l.LossDrops() == 0 {
 		t.Fatal("LossRate drops not charged to LossDrops")
 	}
-	if l.DownDrops != 1 {
-		t.Fatalf("DownDrops=%d, want 1", l.DownDrops)
+	if l.DownDrops() != 1 {
+		t.Fatalf("DownDrops=%d, want 1", l.DownDrops())
 	}
-	if l.Drops != l.QueueDrops+l.LossDrops+l.DownDrops {
+	if l.Drops() != l.QueueDrops()+l.LossDrops()+l.DownDrops() {
 		t.Fatalf("Drops=%d is not the sum of causes %d+%d+%d",
-			l.Drops, l.QueueDrops, l.LossDrops, l.DownDrops)
+			l.Drops(), l.QueueDrops(), l.LossDrops(), l.DownDrops())
 	}
-	if int64(len(b.got))+l.Drops != 65 {
+	if int64(len(b.got))+l.Drops() != 65 {
 		t.Fatal("conservation violated")
 	}
 }
@@ -345,11 +345,11 @@ func TestLinkLossRate(t *testing.T) {
 		l.Send(a, &ether.Frame{Payload: ether.Raw("x")})
 	}
 	e.Run()
-	loss := float64(l.Drops) / n
+	loss := float64(l.Drops()) / n
 	if loss < 0.2 || loss > 0.3 {
 		t.Fatalf("loss rate %.3f, want ~0.25", loss)
 	}
-	if len(b.got)+int(l.Drops) != n {
+	if len(b.got)+int(l.Drops()) != n {
 		t.Fatal("conservation violated")
 	}
 }

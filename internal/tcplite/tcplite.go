@@ -25,8 +25,8 @@ import (
 
 // Endpoint is the host-side surface a connection sends through.
 type Endpoint interface {
-	// Engine returns the simulation engine (clock and timers).
-	Engine() *sim.Engine
+	// Sim returns the endpoint's scheduling identity (clock and timers).
+	Sim() *sim.Proc
 	// LocalIP returns the endpoint's IP address.
 	LocalIP() netip.Addr
 	// SendIP transmits an IP packet with the given protocol and
@@ -162,7 +162,7 @@ func newConn(ep Endpoint, cfg Config, lport, rport uint16, rip netip.Addr) *Conn
 	c.cwnd = c.cfg.InitCwnd
 	c.ssthresh = c.cfg.Window
 	c.rto = c.cfg.InitialRTO
-	c.timer = ep.Engine().NewTimer(c.onTimeout)
+	c.timer = ep.Sim().NewTimer(c.onTimeout)
 	return c
 }
 
@@ -258,7 +258,7 @@ func (c *Conn) push() {
 
 func (c *Conn) transmit(seq uint32, n int, retx bool) {
 	if c.cfg.TraceSend != nil {
-		c.cfg.TraceSend(c.ep.Engine().Now(), seq, n, retx)
+		c.cfg.TraceSend(c.ep.Sim().Now(), seq, n, retx)
 	}
 	if retx {
 		c.Stats.Retransmits++
@@ -266,7 +266,7 @@ func (c *Conn) transmit(seq uint32, n int, retx bool) {
 		// Time one un-retransmitted segment (Karn's algorithm).
 		c.rtValid = true
 		c.rtSeq = seq + uint32(n)
-		c.rtAt = c.ep.Engine().Now()
+		c.rtAt = c.ep.Sim().Now()
 	}
 	c.sendSeg(&ippkt.TCPSegment{
 		Flags: ippkt.FlagACK, Seq: seq, Ack: c.rcvNxt,
@@ -382,7 +382,7 @@ func (c *Conn) handleEstablished(s *ippkt.TCPSegment) {
 			c.drainOOO()
 			c.Stats.BytesDelivered = int64(c.rcvNxt - 1)
 			if c.cfg.TraceDeliver != nil {
-				c.cfg.TraceDeliver(c.ep.Engine().Now(), c.Stats.BytesDelivered)
+				c.cfg.TraceDeliver(c.ep.Sim().Now(), c.Stats.BytesDelivered)
 			}
 		} else if seqLT(c.rcvNxt, s.Seq) {
 			c.insertOOO(s.Seq, s.Seq+uint32(dataLen))
@@ -405,7 +405,7 @@ func (c *Conn) handleEstablished(s *ippkt.TCPSegment) {
 		// RTT sample.
 		if c.rtValid && seqLEQ(c.rtSeq, s.Ack) {
 			c.rtValid = false
-			c.updateRTT(c.ep.Engine().Now() - c.rtAt)
+			c.updateRTT(c.ep.Sim().Now() - c.rtAt)
 		} else {
 			// New data acknowledged: collapse any exponential
 			// backoff back to the smoothed estimate (RFC 6298 §5.7;

@@ -14,6 +14,7 @@ import (
 // drop predicate, for exercising the TCP machinery in isolation.
 type pipeEP struct {
 	eng   *sim.Engine
+	proc  *sim.Proc
 	ip    netip.Addr
 	peer  *pipeEP
 	conn  *Conn
@@ -22,7 +23,12 @@ type pipeEP struct {
 	sent  int
 }
 
-func (p *pipeEP) Engine() *sim.Engine { return p.eng }
+func (p *pipeEP) Sim() *sim.Proc {
+	if p.proc == nil {
+		p.proc = p.eng.NewProc()
+	}
+	return p.proc
+}
 func (p *pipeEP) LocalIP() netip.Addr { return p.ip }
 func (p *pipeEP) SendIP(_ netip.Addr, _ uint8, payload ether.Payload) {
 	ip := payload.(*ippkt.IPv4)

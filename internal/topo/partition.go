@@ -1,0 +1,47 @@
+package topo
+
+// Partition assigns every node of the blueprint to an engine shard for
+// sharded simulation. The cut follows the fat tree's structure: shard
+// 0 holds the core bank (plus the control plane, which the fabric
+// wires there), and each pod — its aggregation and edge switches and
+// their hosts — lands whole on one of the remaining shards,
+// round-robin by pod number. A pod is the natural unit because every
+// pod-to-pod path crosses an aggregation↔core link, so the only
+// cross-shard traffic is exactly the traffic with a full link delay of
+// lookahead.
+//
+// It returns the per-node shard assignment (indexed by NodeID) and
+// the effective shard count, which may be lower than requested:
+// shards <= 1, or a blueprint without pod structure, collapses to one
+// shard; more pod shards than pods collapses to one shard per pod.
+func Partition(s *Spec, shards int) (assign []int, n int) {
+	assign = make([]int, len(s.Nodes))
+	if shards <= 1 {
+		return assign, 1
+	}
+	pods := 0
+	for _, node := range s.Nodes {
+		if node.Pod >= pods {
+			pods = node.Pod + 1
+		}
+	}
+	if pods == 0 {
+		return assign, 1
+	}
+	podShards := shards - 1
+	if podShards > pods {
+		podShards = pods
+	}
+	n = 1
+	for _, node := range s.Nodes {
+		if node.Pod < 0 {
+			continue // core bank stays on shard 0
+		}
+		sh := 1 + node.Pod%podShards
+		assign[node.ID] = sh
+		if sh >= n {
+			n = sh + 1
+		}
+	}
+	return assign, n
+}

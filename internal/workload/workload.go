@@ -58,7 +58,11 @@ type CBR struct {
 }
 
 // StartCBR begins a probe flow from src to dst at the given packet
-// interval. Stop it with Stop.
+// interval. Stop it with Stop. The sender's ticker runs on src's own
+// scheduling stream and arrivals are stamped with dst's clock, so a
+// flow whose endpoints live on different engine shards touches only
+// state each shard owns — and a sharded run records byte-identical
+// timelines to a serial one.
 //
 // Every probe is byte-identical, so the packet is built once and each
 // tick sends a pool-backed frame sharing it — payloads are immutable
@@ -66,16 +70,17 @@ type CBR struct {
 // is the same sharing every frame clone already relies on. At probe
 // rates the convergence experiments run, this keeps the traffic
 // source, not just the fabric, off the allocator.
-func StartCBR(eng *sim.Engine, src, dst *host.Host, port uint16, interval time.Duration, size int) *CBR {
+func StartCBR(src, dst *host.Host, port uint16, interval time.Duration, size int) *CBR {
 	c := &CBR{Src: src, Dst: dst, Port: port, Interval: interval, Size: size}
 	c.payload = &ippkt.IPv4{
 		TTL: 64, Protocol: ippkt.ProtoUDP, Src: src.IP(), Dst: dst.IP(),
 		Payload: &ippkt.UDP{SrcPort: port, DstPort: port, Payload: ether.Raw(make([]byte, size))},
 	}
+	rxNow := dst.Sim().Now
 	dst.Endpoint().BindUDP(port, func(_ netip.Addr, _ uint16, _ ether.Payload) {
-		c.RX.Record(eng.Now())
+		c.RX.Record(rxNow())
 	})
-	c.ticker = eng.NewTicker(interval, interval, func() {
+	c.ticker = src.Sim().NewTicker(interval, interval, func() {
 		c.Sent++
 		src.Endpoint().SendIP(dst.IP(), ippkt.ProtoUDP, c.payload)
 	})
@@ -99,11 +104,11 @@ func (c *CBR) Loss() float64 {
 
 // PairCBRs starts one CBR flow per (src→dst) pairing of hosts through
 // perm, using distinct UDP ports so every flow hashes independently.
-func PairCBRs(eng *sim.Engine, hosts []*host.Host, perm []int, interval time.Duration, size int) []*CBR {
+func PairCBRs(hosts []*host.Host, perm []int, interval time.Duration, size int) []*CBR {
 	flows := make([]*CBR, 0, len(perm))
 	for i, j := range perm {
 		port := uint16(20000 + i)
-		flows = append(flows, StartCBR(eng, hosts[i], hosts[j], port, interval, size))
+		flows = append(flows, StartCBR(hosts[i], hosts[j], port, interval, size))
 	}
 	return flows
 }

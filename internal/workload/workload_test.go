@@ -42,7 +42,7 @@ func TestCBRAndARPStormOnFabric(t *testing.T) {
 		t.Fatal(err)
 	}
 	hosts := f.HostList()
-	flow := StartCBR(f.Eng, hosts[0], hosts[7], 20000, time.Millisecond, 64)
+	flow := StartCBR(hosts[0], hosts[7], 20000, time.Millisecond, 64)
 	f.RunFor(500 * time.Millisecond)
 	flow.Stop()
 	f.RunFor(100 * time.Millisecond)
@@ -79,7 +79,7 @@ func TestPairCBRs(t *testing.T) {
 	}
 	hosts := f.HostList()
 	perm := Permutation(f.Eng.Rand(), len(hosts))
-	flows := PairCBRs(f.Eng, hosts, perm, 2*time.Millisecond, 64)
+	flows := PairCBRs(hosts, perm, 2*time.Millisecond, 64)
 	f.RunFor(time.Second)
 	for i, fl := range flows {
 		if fl.RX.Len() < 400 {
