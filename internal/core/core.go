@@ -66,6 +66,19 @@ type Options struct {
 	// serial run for the same seed (gated by TestShardIdentity and the
 	// sharded experiment goldens).
 	Shards int
+	// MgrShards partitions the fabric manager's IP→PMAC registry by
+	// address prefix across N manager replicas (see ctrlmsg.ShardOfIP).
+	// Shard 0 keeps the route authority — pod numbering, fault matrix,
+	// exclusions, DHCP, multicast — while registration and ARP
+	// resolution spread across all shards. Any value <= 1 runs the
+	// single manager exactly as before, byte-identical on the wire.
+	MgrShards int
+	// PuntBatch, when positive, makes edge switches hold ARP-miss
+	// punts for up to this long and send them as one batch per manager
+	// shard, which answers with one batch — amortizing control-channel
+	// and journal costs under ARP storms. Zero keeps the immediate
+	// per-query punt path.
+	PuntBatch time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,13 +105,21 @@ type Fabric struct {
 	// events must use Sched() instead, which is safe on every shard
 	// layout.
 	Eng     *sim.Engine
-	Spec    *topo.Spec
-	Opts    Options
+	Spec *topo.Spec
+	Opts Options
+	// Manager is registry shard 0, the route authority (== Mgrs[0]).
 	Manager *fabricmgr.Manager
+	// Mgrs holds every registry shard's active manager, indexed by
+	// shard — a single element unless Options.MgrShards > 1. Takeover
+	// and restart replace entries in place.
+	Mgrs []*fabricmgr.Manager
 
-	// Standby is the warm-standby manager (nil unless Options.Standby).
-	// After takeover it is also installed as Manager.
+	// Standby is shard 0's warm-standby manager (nil unless
+	// Options.Standby). After takeover it is also installed as Manager.
 	Standby *fabricmgr.Manager
+	// Standbys holds every shard's standby, parallel to Mgrs (nil
+	// unless Options.Standby).
+	Standbys []*fabricmgr.Manager
 
 	Switches map[topo.NodeID]*pswitch.Switch
 	Hosts    map[topo.NodeID]*host.Host
@@ -119,12 +140,14 @@ type Fabric struct {
 	// control wiring per switch (failover.go).
 	ctrl map[topo.NodeID]*ctrlPair
 
-	// Control-plane survivability state (failover.go).
+	// Control-plane survivability state, indexed by manager shard
+	// (failover.go). epoch is global: any shard's restart or takeover
+	// bumps it.
 	epoch     uint32
-	mgrDown   bool
-	tookOver  bool
-	lastBeat  time.Duration
-	hbPrimary *ctrlnet.SimConn
+	mgrDown   []bool
+	tookOver  []bool
+	lastBeat  []time.Duration
+	hbPrimary []*ctrlnet.SimConn
 
 	byName map[string]topo.NodeID
 	// engOf maps each blueprint node to the engine shard it lives on.
@@ -145,24 +168,41 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 	opts = opts.withDefaults()
 	assign, nShards := topo.Partition(spec, opts.Shards)
 	dom := sim.NewDomain(opts.Seed, nShards)
+	nMgr := opts.MgrShards
+	if nMgr < 1 {
+		nMgr = 1
+	}
 	f := &Fabric{
 		Dom:      dom,
 		Eng:      dom.Engine(0),
 		Spec:     spec,
 		Opts:     opts,
-		Manager:  fabricmgr.New(),
+		Mgrs:     make([]*fabricmgr.Manager, nMgr),
 		Switches: make(map[topo.NodeID]*pswitch.Switch),
 		Hosts:    make(map[topo.NodeID]*host.Host),
 		ctrl:     make(map[topo.NodeID]*ctrlPair),
 		byName:   make(map[string]topo.NodeID),
 		Obs:      obs.NewRegistry(),
 		engOf:    make([]*sim.Engine, len(spec.Nodes)),
+		mgrDown:  make([]bool, nMgr),
+		tookOver: make([]bool, nMgr),
+		lastBeat: make([]time.Duration, nMgr),
 	}
 	for _, n := range spec.Nodes {
 		f.engOf[n.ID] = dom.Engine(assign[n.ID])
 	}
 	f.jFabric = f.Obs.Journal("fabric", 128, f.Eng.Now)
-	f.Manager.SetJournal(f.Obs.Journal("mgr", 2048, f.Eng.Now))
+	for i := range f.Mgrs {
+		m := fabricmgr.New()
+		m.SetShard(i, nMgr)
+		name := "mgr"
+		if i > 0 {
+			name = fmt.Sprintf("mgr%d", i)
+		}
+		m.SetJournal(f.Obs.Journal(name, 2048, f.Eng.Now))
+		f.Mgrs[i] = m
+	}
+	f.Manager = f.Mgrs[0]
 	if opts.Standby {
 		f.wireStandby()
 	}
@@ -179,6 +219,7 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 		default:
 			sw := pswitch.New(eng.NewProc(), SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
 			sw.SetDetector(opts.Detect)
+			sw.SetPuntBatch(opts.PuntBatch)
 			sw.SetJournal(f.Obs.Journal(n.Name, 256, eng.Now))
 			f.Switches[n.ID] = sw
 			f.wireControl(n.ID, sw)
@@ -397,10 +438,18 @@ func (f *Fabric) ControlStats() (toMgr, fromMgr ctrlnet.Stats) {
 		dst.Corrupt += s.Corrupt
 	}
 	for _, pair := range f.ctrl {
-		acc(&toMgr, pair.swRaw)
-		acc(&toMgr, pair.sbSwRaw)
-		acc(&fromMgr, pair.mgrRaw)
-		acc(&fromMgr, pair.sbMgrRaw)
+		for _, c := range pair.swRaw {
+			acc(&toMgr, c)
+		}
+		for _, c := range pair.sbSwRaw {
+			acc(&toMgr, c)
+		}
+		for _, c := range pair.mgrRaw {
+			acc(&fromMgr, c)
+		}
+		for _, c := range pair.sbMgrRaw {
+			acc(&fromMgr, c)
+		}
 	}
 	return toMgr, fromMgr
 }

@@ -26,18 +26,19 @@ const (
 
 // ctrlPair is the full control wiring for one switch: the raw pipe
 // ends (owning stats and up/down state) and the possibly
-// Reliable-wrapped Conns the protocol actually speaks over. The raw
-// pipe objects live for the fabric's lifetime — a manager restart
-// revives the same pipes, preserving byte counters and, under
-// CtrlLoss, the retransmit buffers that re-deliver everything the
-// dead manager missed.
+// Reliable-wrapped Conns the protocol actually speaks over, one per
+// manager shard (a single-element slice on the default unsharded
+// fabric). The raw pipe objects live for the fabric's lifetime — a
+// manager restart revives the same pipes, preserving byte counters
+// and, under CtrlLoss, the retransmit buffers that re-deliver
+// everything the dead manager missed.
 type ctrlPair struct {
-	swRaw, mgrRaw   *ctrlnet.SimConn
-	swConn, mgrConn ctrlnet.Conn
+	swRaw, mgrRaw   []*ctrlnet.SimConn
+	swConn, mgrConn []ctrlnet.Conn
 
-	// Standby mirror channel (nil without Options.Standby).
-	sbSwRaw, sbMgrRaw   *ctrlnet.SimConn
-	sbSwConn, sbMgrConn ctrlnet.Conn
+	// Standby mirror channels (nil without Options.Standby).
+	sbSwRaw, sbMgrRaw   []*ctrlnet.SimConn
+	sbSwConn, sbMgrConn []ctrlnet.Conn
 }
 
 // muxConn fans a switch's control transmissions out to the primary
@@ -94,72 +95,121 @@ func (f *Fabric) ctrlPipe(swEng *sim.Engine) (raw1, raw2 *ctrlnet.SimConn) {
 	})
 }
 
-// wireControl connects one switch to the fabric manager (and, when
-// configured, the standby).
+// wireControl connects one switch to every fabric-manager shard (and,
+// when configured, each shard's standby).
 func (f *Fabric) wireControl(id topo.NodeID, sw *pswitch.Switch) {
+	n := len(f.Mgrs)
 	p := &ctrlPair{}
-	p.swRaw, p.mgrRaw = f.ctrlPipe(f.engOf[id])
-	p.swConn, p.mgrConn = f.wrapCtrl(p.swRaw), f.wrapCtrl(p.mgrRaw)
-	setCtrlHandler(p.swConn, sw.HandleCtrl)
-	sess := f.Manager.NewSession(p.mgrConn)
-	setCtrlHandler(p.mgrConn, sess.Handle)
-
-	var ctrl ctrlnet.Conn = p.swConn
-	if f.Standby != nil {
-		p.sbSwRaw, p.sbMgrRaw = f.ctrlPipe(f.engOf[id])
-		p.sbSwConn, p.sbMgrConn = f.wrapCtrl(p.sbSwRaw), f.wrapCtrl(p.sbMgrRaw)
-		setCtrlHandler(p.sbSwConn, sw.HandleCtrl)
-		sbSess := f.Standby.NewSession(p.sbMgrConn)
-		setCtrlHandler(p.sbMgrConn, sbSess.Handle)
-		ctrl = &muxConn{primary: p.swConn, mirror: p.sbSwConn}
+	conns := make([]ctrlnet.Conn, n)
+	for i := 0; i < n; i++ {
+		swRaw, mgrRaw := f.ctrlPipe(f.engOf[id])
+		swConn, mgrConn := f.wrapCtrl(swRaw), f.wrapCtrl(mgrRaw)
+		setCtrlHandler(swConn, sw.CtrlHandlerFor(i))
+		sess := f.Mgrs[i].NewSession(mgrConn)
+		setCtrlHandler(mgrConn, sess.Handle)
+		p.swRaw = append(p.swRaw, swRaw)
+		p.mgrRaw = append(p.mgrRaw, mgrRaw)
+		p.swConn = append(p.swConn, swConn)
+		p.mgrConn = append(p.mgrConn, mgrConn)
+		conns[i] = swConn
 	}
-	sw.SetControl(ctrl)
+	if f.Standbys != nil {
+		for i := 0; i < n; i++ {
+			sbSwRaw, sbMgrRaw := f.ctrlPipe(f.engOf[id])
+			sbSwConn, sbMgrConn := f.wrapCtrl(sbSwRaw), f.wrapCtrl(sbMgrRaw)
+			setCtrlHandler(sbSwConn, sw.CtrlHandlerFor(i))
+			sbSess := f.Standbys[i].NewSession(sbMgrConn)
+			setCtrlHandler(sbMgrConn, sbSess.Handle)
+			p.sbSwRaw = append(p.sbSwRaw, sbSwRaw)
+			p.sbMgrRaw = append(p.sbMgrRaw, sbMgrRaw)
+			p.sbSwConn = append(p.sbSwConn, sbSwConn)
+			p.sbMgrConn = append(p.sbMgrConn, sbMgrConn)
+			conns[i] = &muxConn{primary: p.swConn[i], mirror: sbSwConn}
+		}
+	}
+	sw.SetControlShards(conns)
 	f.ctrl[id] = p
 }
 
-// wireStandby sets up the passive mirror manager and the heartbeat
-// channel the takeover watchdog listens on. Called from Build before
-// the switches are wired.
+// wireStandby sets up one passive mirror manager per shard and the
+// heartbeat channel each shard's takeover watchdog listens on. Called
+// from Build before the switches are wired.
 func (f *Fabric) wireStandby() {
-	f.Standby = fabricmgr.New()
-	f.Standby.SetPassive(true)
-	f.Standby.SetJournal(f.Obs.Journal("mgr-standby", 2048, f.Eng.Now))
-	hbP, hbS := ctrlnet.SimPipeDom(f.Dom, f.Eng, f.Eng, ctrlnet.PipeConfig{Delay: f.Opts.CtrlDelay})
-	f.hbPrimary = hbP
-	hbS.SetHandler(func(m ctrlmsg.Msg) {
-		if _, ok := m.(ctrlmsg.Heartbeat); ok {
-			f.lastBeat = f.Eng.Now()
-		}
-	})
-	f.Eng.NewTicker(hbInterval, hbInterval, func() {
-		_ = hbP.Send(ctrlmsg.Heartbeat{Epoch: f.epoch})
-	})
-	f.Eng.NewTicker(hbInterval, hbInterval, func() {
-		if f.tookOver {
-			return
-		}
-		if f.Eng.Now()-f.lastBeat > hbTimeout {
-			f.takeover()
-		}
-	})
+	n := len(f.Mgrs)
+	f.Standbys = make([]*fabricmgr.Manager, n)
+	f.hbPrimary = make([]*ctrlnet.SimConn, n)
+	for i := 0; i < n; i++ {
+		i := i
+		sb := fabricmgr.New()
+		sb.SetShard(i, n)
+		sb.SetPassive(true)
+		sb.SetJournal(f.Obs.Journal(standbyName(i), 2048, f.Eng.Now))
+		f.Standbys[i] = sb
+		hbP, hbS := ctrlnet.SimPipeDom(f.Dom, f.Eng, f.Eng, ctrlnet.PipeConfig{Delay: f.Opts.CtrlDelay})
+		f.hbPrimary[i] = hbP
+		hbS.SetHandler(func(m ctrlmsg.Msg) {
+			if _, ok := m.(ctrlmsg.Heartbeat); ok {
+				f.lastBeat[i] = f.Eng.Now()
+			}
+		})
+		f.Eng.NewTicker(hbInterval, hbInterval, func() {
+			_ = hbP.Send(ctrlmsg.Heartbeat{Epoch: f.epoch})
+		})
+		f.Eng.NewTicker(hbInterval, hbInterval, func() {
+			if f.tookOver[i] {
+				return
+			}
+			if f.Eng.Now()-f.lastBeat[i] > hbTimeout {
+				f.takeover(i)
+			}
+		})
+	}
+	f.Standby = f.Standbys[0]
 }
 
-// takeover promotes the standby: it goes active, becomes f.Manager,
-// and resyncs the fabric to validate its mirrored state.
-func (f *Fabric) takeover() {
-	f.tookOver = true
+// standbyName returns shard i's standby journal name; shard 0 keeps
+// the historical unsharded name.
+func standbyName(i int) string {
+	if i == 0 {
+		return "mgr-standby"
+	}
+	return fmt.Sprintf("mgr-standby%d", i)
+}
+
+// takeover promotes shard's standby: it goes active, becomes that
+// shard's entry in f.Mgrs (and f.Manager, for shard 0), and resyncs
+// the fabric to validate its mirrored state.
+func (f *Fabric) takeover(shard int) {
+	f.tookOver[shard] = true
 	f.epoch++
-	f.jFabric.Record(obs.Takeover, uint64(f.epoch), 0, 0, 0)
-	f.Standby.SetPassive(false)
-	f.Manager = f.Standby
-	f.Standby.BeginResync(f.epoch, f.standbyConns())
+	f.jFabric.Record(obs.Takeover, uint64(f.epoch), uint64(shard), 0, 0)
+	sb := f.Standbys[shard]
+	sb.SetPassive(false)
+	f.Mgrs[shard] = sb
+	if shard == 0 {
+		f.Manager = sb
+	}
+	sb.BeginResync(f.epoch, f.standbyConns(shard))
 	if f.OnTakeover != nil {
 		f.OnTakeover(f.epoch)
 	}
 }
 
-// TookOver reports whether the standby has assumed control.
-func (f *Fabric) TookOver() bool { return f.tookOver }
+// TookOver reports whether any shard's standby has assumed control.
+func (f *Fabric) TookOver() bool {
+	for _, t := range f.tookOver {
+		if t {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardTookOver reports whether the given manager shard's standby has
+// assumed control.
+func (f *Fabric) ShardTookOver(shard int) bool {
+	return shard >= 0 && shard < len(f.tookOver) && f.tookOver[shard]
+}
 
 // Epoch returns the current control-plane epoch: 0 at boot, bumped by
 // every manager restart or standby takeover.
@@ -173,18 +223,40 @@ func (f *Fabric) Epoch() uint32 { return f.epoch }
 // forwarding on installed state; only reactive services (proxy ARP,
 // DHCP, new fault reactions) go dark.
 func (f *Fabric) KillManager() {
-	f.mgrDown = true
 	f.jFabric.Record(obs.MgrKilled, uint64(f.epoch), 0, 0, 0)
-	for _, id := range f.Spec.Switches() {
-		f.ctrl[id].mgrRaw.SetUp(false)
-	}
-	if f.hbPrimary != nil {
-		f.hbPrimary.SetUp(false)
+	for i := range f.Mgrs {
+		f.killShard(i)
 	}
 }
 
-// ManagerAlive reports whether the (primary) manager is running.
-func (f *Fabric) ManagerAlive() bool { return !f.mgrDown }
+// KillManagerShard crashes one registry shard's manager, leaving the
+// others serving: only mappings (and parked ARP queries) on the dead
+// shard go dark until its standby takes over or it is restarted.
+func (f *Fabric) KillManagerShard(shard int) {
+	f.jFabric.Record(obs.MgrKilled, uint64(f.epoch), uint64(shard), 0, 0)
+	f.killShard(shard)
+}
+
+func (f *Fabric) killShard(shard int) {
+	f.mgrDown[shard] = true
+	for _, id := range f.Spec.Switches() {
+		f.ctrl[id].mgrRaw[shard].SetUp(false)
+	}
+	if f.hbPrimary != nil {
+		f.hbPrimary[shard].SetUp(false)
+	}
+}
+
+// ManagerAlive reports whether every (primary) manager shard is
+// running.
+func (f *Fabric) ManagerAlive() bool {
+	for _, down := range f.mgrDown {
+		if down {
+			return false
+		}
+	}
+	return true
+}
 
 // RestartManager boots a fresh, empty fabric manager on the same
 // control network and triggers the resync handshake: every switch
@@ -196,31 +268,55 @@ func (f *Fabric) ManagerAlive() bool { return !f.mgrDown }
 // running the engine to observe resync completion.
 func (f *Fabric) RestartManager() *fabricmgr.Manager {
 	f.epoch++
-	f.mgrDown = false
 	f.jFabric.Record(obs.MgrRestarted, uint64(f.epoch), 0, 0, 0)
+	for i := range f.Mgrs {
+		f.restartShard(i)
+	}
+	return f.Manager
+}
+
+// RestartManagerShard boots a fresh manager for one registry shard and
+// resyncs just that shard's slice of the fabric's soft state.
+func (f *Fabric) RestartManagerShard(shard int) *fabricmgr.Manager {
+	f.epoch++
+	f.jFabric.Record(obs.MgrRestarted, uint64(f.epoch), uint64(shard), 0, 0)
+	return f.restartShard(shard)
+}
+
+func (f *Fabric) restartShard(shard int) *fabricmgr.Manager {
+	f.mgrDown[shard] = false
 	m := fabricmgr.New()
-	m.SetJournal(f.Obs.Journal(fmt.Sprintf("mgr#%d", f.epoch), 2048, f.Eng.Now))
-	f.Manager = m
+	m.SetShard(shard, len(f.Mgrs))
+	name := fmt.Sprintf("mgr#%d", f.epoch)
+	if shard > 0 {
+		name = fmt.Sprintf("mgr%d#%d", shard, f.epoch)
+	}
+	m.SetJournal(f.Obs.Journal(name, 2048, f.Eng.Now))
+	f.Mgrs[shard] = m
+	if shard == 0 {
+		f.Manager = m
+	}
 	conns := make([]ctrlnet.Conn, 0, len(f.ctrl))
 	for _, id := range f.Spec.Switches() {
 		p := f.ctrl[id]
-		p.mgrRaw.SetUp(true)
-		sess := m.NewSession(p.mgrConn)
-		setCtrlHandler(p.mgrConn, sess.Handle)
-		conns = append(conns, p.mgrConn)
+		p.mgrRaw[shard].SetUp(true)
+		sess := m.NewSession(p.mgrConn[shard])
+		setCtrlHandler(p.mgrConn[shard], sess.Handle)
+		conns = append(conns, p.mgrConn[shard])
 	}
 	if f.hbPrimary != nil {
-		f.hbPrimary.SetUp(true)
+		f.hbPrimary[shard].SetUp(true)
 	}
 	m.BeginResync(f.epoch, conns)
 	return m
 }
 
-// standbyConns returns the standby-side conns in blueprint order.
-func (f *Fabric) standbyConns() []ctrlnet.Conn {
+// standbyConns returns one shard's standby-side conns in blueprint
+// order.
+func (f *Fabric) standbyConns(shard int) []ctrlnet.Conn {
 	conns := make([]ctrlnet.Conn, 0, len(f.ctrl))
 	for _, id := range f.Spec.Switches() {
-		conns = append(conns, f.ctrl[id].sbMgrConn)
+		conns = append(conns, f.ctrl[id].sbMgrConn[shard])
 	}
 	return conns
 }

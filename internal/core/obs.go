@@ -3,6 +3,7 @@
 package core
 
 import (
+	"portland/internal/fabricmgr"
 	"portland/internal/obs"
 )
 
@@ -14,7 +15,14 @@ import (
 func (f *Fabric) ObsCounters() obs.Counters {
 	c := obs.Counters{}
 
-	ms := f.Manager.Stats
+	// Merge the active manager shards (promoted standbys included,
+	// still-passive mirrors not): punts are routed, never mirrored, so
+	// summing across shards counts each event exactly once. With one
+	// shard this is f.Manager.Stats verbatim.
+	var ms fabricmgr.Counters
+	for _, m := range f.Mgrs {
+		ms.Add(m.Stats)
+	}
 	c["mgr.arp_queries"] = ms.ARPQueries
 	c["mgr.arp_hits"] = ms.ARPHits
 	c["mgr.arp_misses"] = ms.ARPMisses

@@ -53,6 +53,8 @@ const (
 	KindSeqAck
 	KindGrayReport
 	KindHostInstall
+	KindARPQueryBatch
+	KindARPAnswerBatch
 	kindMax
 )
 
@@ -63,6 +65,7 @@ var kindNames = [...]string{
 	"migration-update", "dhcp-query", "dhcp-answer",
 	"state-sync-request", "lease-report", "sync-done", "heartbeat",
 	"seq-data", "seq-ack", "gray-report", "host-install",
+	"arp-query-batch", "arp-answer-batch",
 }
 
 // String names the kind.
@@ -308,6 +311,56 @@ type HostInstall struct {
 	PMAC ether.Addr
 }
 
+// ARPQueryItem is one punted ARP request inside an ARPQueryBatch —
+// the same fields as ARPQuery minus the switch, which the batch
+// header carries once.
+type ARPQueryItem struct {
+	QueryID    uint64
+	SenderPMAC ether.Addr
+	SenderIP   netip.Addr
+	TargetIP   netip.Addr
+}
+
+// ARPQueryBatch carries every ARP-miss punt an edge switch collected
+// for one registry shard during one batching tick. Batching amortizes
+// the per-message control-channel and journal cost of an ARP storm:
+// the manager answers with a single ARPAnswerBatch.
+type ARPQueryBatch struct {
+	Switch  SwitchID
+	Queries []ARPQueryItem
+}
+
+// ARPAnswerItem is one resolution inside an ARPAnswerBatch — the same
+// fields as ARPAnswer.
+type ARPAnswerItem struct {
+	QueryID  uint64
+	Found    bool
+	TargetIP netip.Addr
+	PMAC     ether.Addr
+}
+
+// ARPAnswerBatch answers an ARPQueryBatch in one message. Queries the
+// manager cannot answer immediately (parked during a resync) are
+// omitted and answered individually later.
+type ARPAnswerBatch struct {
+	Answers []ARPAnswerItem
+}
+
+// ShardOfIP maps an IPv4 address to its owning registry shard among n:
+// consecutive /30 address blocks stripe across shards, so any host
+// population laid out in contiguous prefixes spreads evenly while each
+// block of neighboring addresses stays on one shard. Edge switches and
+// the fabric route PMAC registrations and ARP punts with this same
+// function — it IS the shard contract.
+func ShardOfIP(a netip.Addr, n int) int {
+	if n <= 1 || !a.Is4() {
+		return 0
+	}
+	v4 := a.As4()
+	block := binary.BigEndian.Uint32(v4[:]) >> 2
+	return int(block % uint32(n))
+}
+
 // Kind implementations.
 func (Hello) Kind() Kind            { return KindHello }
 func (LocationReport) Kind() Kind   { return KindLocationReport }
@@ -332,6 +385,8 @@ func (SeqData) Kind() Kind          { return KindSeqData }
 func (SeqAck) Kind() Kind           { return KindSeqAck }
 func (GrayReport) Kind() Kind       { return KindGrayReport }
 func (HostInstall) Kind() Kind      { return KindHostInstall }
+func (ARPQueryBatch) Kind() Kind    { return KindARPQueryBatch }
+func (ARPAnswerBatch) Kind() Kind   { return KindARPAnswerBatch }
 
 type writer struct{ b []byte }
 
@@ -526,6 +581,23 @@ func Encode(m Msg) []byte {
 		w.ip(v.IP)
 		w.mac(v.AMAC)
 		w.mac(v.PMAC)
+	case ARPQueryBatch:
+		w.u32(uint32(v.Switch))
+		w.u16(uint16(len(v.Queries)))
+		for _, q := range v.Queries {
+			w.u64(q.QueryID)
+			w.mac(q.SenderPMAC)
+			w.ip(q.SenderIP)
+			w.ip(q.TargetIP)
+		}
+	case ARPAnswerBatch:
+		w.u16(uint16(len(v.Answers)))
+		for _, a := range v.Answers {
+			w.u64(a.QueryID)
+			w.bool(a.Found)
+			w.ip(a.TargetIP)
+			w.mac(a.PMAC)
+		}
 	default:
 		panic(fmt.Sprintf("ctrlmsg: cannot encode %T", m))
 	}
@@ -603,6 +675,24 @@ func Decode(b []byte) (Msg, error) {
 		m = GrayReport{Switch: SwitchID(r.u32()), Port: r.u8(), PeerID: SwitchID(r.u32()), WireErrs: r.u64(), ProbesLost: r.u64(), Quarantined: r.bool()}
 	case KindHostInstall:
 		m = HostInstall{IP: r.ip(), AMAC: r.mac(), PMAC: r.mac()}
+	case KindARPQueryBatch:
+		qb := ARPQueryBatch{Switch: SwitchID(r.u32())}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			qb.Queries = append(qb.Queries, ARPQueryItem{
+				QueryID: r.u64(), SenderPMAC: r.mac(), SenderIP: r.ip(), TargetIP: r.ip(),
+			})
+		}
+		m = qb
+	case KindARPAnswerBatch:
+		ab := ARPAnswerBatch{}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			ab.Answers = append(ab.Answers, ARPAnswerItem{
+				QueryID: r.u64(), Found: r.bool(), TargetIP: r.ip(), PMAC: r.mac(),
+			})
+		}
+		m = ab
 	default:
 		return nil, fmt.Errorf("ctrlmsg: unknown kind %d", uint8(k))
 	}

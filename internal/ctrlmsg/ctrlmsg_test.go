@@ -38,6 +38,16 @@ func TestAllKindsRoundTrip(t *testing.T) {
 		SeqData{Seq: 77, Payload: ARPAnswer{QueryID: 99, Found: true, TargetIP: ip([4]byte{10, 0, 0, 3}), PMAC: ether.Addr{0, 2, 0, 0, 0, 1}}},
 		SeqData{Seq: 0, Payload: Hello{Switch: 1}},
 		SeqAck{NextSeq: 78},
+		GrayReport{Switch: 7, Port: 2, PeerID: 9, WireErrs: 11, ProbesLost: 3, Quarantined: true},
+		HostInstall{IP: ip([4]byte{10, 0, 1, 2}), AMAC: ether.Addr{2, 0, 0, 0, 1, 2}, PMAC: ether.Addr{0, 0, 1, 0, 0, 2}},
+		ARPQueryBatch{Switch: 5, Queries: []ARPQueryItem{
+			{QueryID: 1, SenderPMAC: ether.Addr{0, 1, 0, 0, 0, 2}, SenderIP: ip([4]byte{10, 0, 0, 2}), TargetIP: ip([4]byte{10, 0, 0, 3})},
+			{QueryID: 2, SenderPMAC: ether.Addr{0, 1, 0, 0, 0, 2}, SenderIP: ip([4]byte{10, 0, 0, 2}), TargetIP: ip([4]byte{10, 0, 0, 7})},
+		}},
+		ARPAnswerBatch{Answers: []ARPAnswerItem{
+			{QueryID: 1, Found: true, TargetIP: ip([4]byte{10, 0, 0, 3}), PMAC: ether.Addr{0, 2, 0, 0, 0, 1}},
+			{QueryID: 2, Found: false, TargetIP: ip([4]byte{10, 0, 0, 7})},
+		}},
 	}
 	for _, in := range msgs {
 		b := Encode(in)
@@ -101,6 +111,56 @@ func TestQuickRoundTrips(t *testing.T) {
 		out, err := Decode(Encode(in))
 		return err == nil && out == in
 	})
+	check("ARPQueryBatch", func(sw uint32, ids []uint64, t4 [4]byte) bool {
+		if len(ids) > 64 {
+			ids = ids[:64]
+		}
+		in := ARPQueryBatch{Switch: SwitchID(sw)}
+		for _, id := range ids {
+			in.Queries = append(in.Queries, ARPQueryItem{
+				QueryID: id, SenderIP: ip([4]byte{10, 0, 0, 1}), TargetIP: ip(t4),
+			})
+		}
+		out, err := Decode(Encode(in))
+		if err != nil {
+			return false
+		}
+		got := out.(ARPQueryBatch)
+		if got.Switch != in.Switch || len(got.Queries) != len(in.Queries) {
+			return false
+		}
+		for i := range in.Queries {
+			if got.Queries[i] != in.Queries[i] {
+				return false
+			}
+		}
+		return true
+	})
+	check("ARPAnswerBatch", func(ids []uint64, found bool, pm ether.Addr) bool {
+		if len(ids) > 64 {
+			ids = ids[:64]
+		}
+		in := ARPAnswerBatch{}
+		for _, id := range ids {
+			in.Answers = append(in.Answers, ARPAnswerItem{
+				QueryID: id, Found: found, TargetIP: ip([4]byte{10, 0, 0, 2}), PMAC: pm,
+			})
+		}
+		out, err := Decode(Encode(in))
+		if err != nil {
+			return false
+		}
+		got := out.(ARPAnswerBatch)
+		if len(got.Answers) != len(in.Answers) {
+			return false
+		}
+		for i := range in.Answers {
+			if got.Answers[i] != in.Answers[i] {
+				return false
+			}
+		}
+		return true
+	})
 	check("McastInstall", func(group uint32, ports []uint8) bool {
 		if len(ports) > 255 {
 			ports = ports[:255]
@@ -129,6 +189,43 @@ func TestKindStrings(t *testing.T) {
 	}
 	if KindARPQuery.String() != "arp-query" || Kind(200).String() != "kind200" {
 		t.Fatal("kind names")
+	}
+}
+
+func TestShardOfIP(t *testing.T) {
+	// n<=1 and non-v4 collapse to shard 0.
+	if ShardOfIP(ip([4]byte{10, 0, 0, 1}), 1) != 0 || ShardOfIP(netip.Addr{}, 4) != 0 {
+		t.Fatal("degenerate cases must map to shard 0")
+	}
+	// /30 blocks are atomic: the four addresses of a block share a shard.
+	for _, n := range []int{2, 3, 4, 8} {
+		base := ShardOfIP(ip([4]byte{10, 0, 0, 4}), n)
+		for last := byte(4); last < 8; last++ {
+			if got := ShardOfIP(ip([4]byte{10, 0, 0, last}), n); got != base {
+				t.Fatalf("n=%d: 10.0.0.%d on shard %d, block base on %d", n, last, got, base)
+			}
+		}
+	}
+	// Consecutive blocks stripe: a contiguous host range spreads
+	// within one block-count of perfectly even.
+	for _, n := range []int{2, 4, 8} {
+		counts := make([]int, n)
+		for i := 0; i < 1024; i++ {
+			a := ip([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+			counts[ShardOfIP(a, n)]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 4 {
+			t.Fatalf("n=%d: shard counts %v too skewed", n, counts)
+		}
 	}
 }
 

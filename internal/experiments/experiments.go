@@ -43,6 +43,13 @@ type Rig struct {
 	// — the serial-vs-sharded golden gates depend on it — so this only
 	// changes wall-clock time, never output.
 	Shards int
+	// MgrShards partitions the fabric manager's registry by IP prefix
+	// across N replicas (core.Options.MgrShards). Zero or one is the
+	// classic single manager.
+	MgrShards int
+	// PuntBatch arms edge-switch ARP-punt batching with the given hold
+	// timer (core.Options.PuntBatch). Zero punts each miss immediately.
+	PuntBatch time.Duration
 }
 
 // defaultShards is the process-wide engine-shard default baked into
@@ -61,7 +68,7 @@ func DefaultRig() Rig {
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards, MgrShards: r.MgrShards, PuntBatch: r.PuntBatch})
 	if err != nil {
 		return nil, err
 	}

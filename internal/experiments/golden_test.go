@@ -125,3 +125,10 @@ func TestGoldenSC(t *testing.T) {
 	cfg.Trials = 1
 	goldenEquivalent(t, func() (*SCResult, error) { return RunSC(cfg) })
 }
+
+func TestGoldenMgr(t *testing.T) {
+	cfg := DefaultMgr()
+	cfg.Trials = 1
+	cfg.Flows = 300
+	goldenEquivalent(t, func() (*MgrResult, error) { return RunMgr(cfg) })
+}

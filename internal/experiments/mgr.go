@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"portland/internal/fabricmgr"
+	"portland/internal/metrics"
+	"portland/internal/obs"
+	"portland/internal/runner"
+	"portland/internal/workload"
+)
+
+// MgrConfig parameterizes the manager-scaling sweep: one cell per
+// (shard count × punt-batch setting, trial), each driving a sampled
+// trace workload (heavy-tailed sizes, bursty arrivals, inter-pod-heavy
+// locality) through a fabric whose manager registry is prefix-sharded,
+// then failing a core link to measure exclusion fan-out.
+//
+// All reported figures are virtual-time and therefore deterministic:
+// the sweep shows what sharding and batching change *semantically* —
+// message counts per resolution, registry spread across replicas,
+// fan-out latency staying flat because shard 0 alone carries the route
+// authority. Wall-clock scaling lives in BenchmarkMgrARPThroughput and
+// the bench-mgr gate, where core counts are recorded honestly.
+type MgrConfig struct {
+	Rig Rig
+	// Shards are the registry shard counts to sweep (1 = classic
+	// single manager).
+	Shards []int
+	// Batch are the edge punt-batch hold timers to sweep (0 = punt
+	// each ARP miss immediately).
+	Batch []time.Duration
+	// Flows and Window size the sampled trace each cell replays.
+	Flows  int
+	Window time.Duration
+	Trials int
+}
+
+// DefaultMgr sweeps 1/2/4 registry shards, each with batching off and
+// with a 200 µs hold timer, on the paper-testbed k=4 rig.
+func DefaultMgr() MgrConfig {
+	return MgrConfig{
+		Rig:    DefaultRig(),
+		Shards: []int{1, 2, 4},
+		Batch:  []time.Duration{0, 200 * time.Microsecond},
+		Flows:  600,
+		Window: 250 * time.Millisecond,
+		Trials: 2,
+	}
+}
+
+// mgrSettle is how long a cell keeps running after the trace window so
+// in-flight packets drain, and again after the link failure so the
+// exclusion cascade completes.
+const mgrSettle = 300 * time.Millisecond
+
+// mgrBatchLabel renders a punt-batch coordinate for tables and params.
+func mgrBatchLabel(d time.Duration) string {
+	if d == 0 {
+		return "off"
+	}
+	return d.String()
+}
+
+// MgrRow is one (shards, batch) point merged across trials.
+type MgrRow struct {
+	Shards     int
+	Batch      time.Duration
+	Queries    int64   // ARP queries served by all shards
+	PuntMsgs   int64   // control messages those queries rode in
+	MsgsPerQ   float64 // PuntMsgs / Queries — the batching amortization
+	BatchFill  float64 // queries per batch message (0 with batching off)
+	ARPsPerSec float64 // virtual-time service rate over the ARP span
+	RegMin     int64   // smallest per-shard registration count
+	RegMax     int64   // largest per-shard registration count
+	Detect     metrics.Summary // link-fail → fault-matrix transition, ms
+	Conv       metrics.Summary // link-fail → last exclusion install, ms
+	Excl       int     // exclusions pushed for the fault, all trials
+}
+
+// MgrResult is the full sweep.
+type MgrResult struct {
+	Cfg  MgrConfig
+	Rows []MgrRow
+	// Report carries per-cell observability snapshots; Print never
+	// reads it.
+	Report *obs.Report
+}
+
+// mgrTrial is one cell's raw measures.
+type mgrTrial struct {
+	queries, hits, misses int64
+	batches, batched      int64
+	puntMsgs              int64
+	regMin, regMax        int64
+	arpsPerSec            float64
+	detectMs, fanoutMs    float64
+	convMs                float64
+	excl                  int
+	cell                  obs.CellReport
+}
+
+// mgrPoint decodes a grid point into its (shards, batch) coordinate.
+func (cfg MgrConfig) mgrPoint(point int) (int, time.Duration) {
+	return cfg.Shards[point/len(cfg.Batch)], cfg.Batch[point%len(cfg.Batch)]
+}
+
+// mgrARPSpan returns the virtual-time span between the first and last
+// ARP service event in the merged journal — the window the service
+// rate is computed over.
+func mgrARPSpan(merged []obs.SourcedEvent) time.Duration {
+	var first, last time.Duration
+	seen := false
+	for _, e := range merged {
+		switch e.Kind {
+		case obs.MgrARPHit, obs.MgrARPMiss, obs.MgrARPBatch:
+			if !seen {
+				first, seen = e.At, true
+			}
+			last = e.At
+		}
+	}
+	if !seen || last <= first {
+		return time.Millisecond
+	}
+	return last - first
+}
+
+// mgrCell runs one (point, trial) cell on its own engine. The seed
+// derives only from (base seed, point, trial), so the cell is a pure
+// function of its grid coordinate: parallel sweeps merge
+// byte-identically with serial ones and ReplayMgr reproduces any cell
+// bit-for-bit.
+func mgrCell(cfg MgrConfig, point, trial int, report bool) (mgrTrial, *obs.Report, error) {
+	shards, batch := cfg.mgrPoint(point)
+	out := mgrTrial{}
+	rig := cfg.Rig
+	rig.Seed = cfg.Rig.Seed + uint64((point+1)*1000+trial)
+	rig.MgrShards = shards
+	rig.PuntBatch = batch
+	f, err := rig.build()
+	if err != nil {
+		return out, nil, err
+	}
+
+	// Phase 1: the ARP-heavy trace. Tight bursts cluster the misses so
+	// the hold timer has something to coalesce.
+	wl := workload.TraceConfig{
+		Seed:         rig.Seed,
+		Flows:        cfg.Flows,
+		Arrivals:     workload.Arrivals{Window: cfg.Window, Bursts: 16, Spread: 500 * time.Microsecond},
+		Size:         workload.Pareto{Alpha: 1.2, Min: 1, Max: 3},
+		Locality:     workload.LocalityMix{IntraRack: 0.05, IntraPod: 0.15},
+		PacketGap:    200 * time.Microsecond,
+		PayloadBytes: 64,
+		BasePort:     20000,
+		DstPorts:     4,
+	}
+	tr := workload.StartTrace(wl, workload.NewPlacement(f.Spec), f.HostList())
+	f.RunFor(cfg.Window + mgrSettle)
+	tr.Stop()
+	if tr.Delivered() != tr.Sent() {
+		return out, nil, fmt.Errorf("trace delivered %d of %d packets at shards=%d batch=%v",
+			tr.Delivered(), tr.Sent(), shards, batch)
+	}
+
+	var ms fabricmgr.Counters
+	out.regMin = int64(1<<62 - 1)
+	for _, m := range f.Mgrs {
+		ms.Add(m.Stats)
+		if r := m.Stats.Registrations; r < out.regMin {
+			out.regMin = r
+		}
+		if r := m.Stats.Registrations; r > out.regMax {
+			out.regMax = r
+		}
+	}
+	out.queries, out.hits, out.misses = ms.ARPQueries, ms.ARPHits, ms.ARPMisses
+	out.batches, out.batched = ms.ARPBatches, ms.BatchedQueries
+	// Control messages the queries rode in: each unbatched query is its
+	// own punt, each batch is one message however many it carried.
+	out.puntMsgs = (ms.ARPQueries - ms.BatchedQueries) + ms.ARPBatches
+	out.arpsPerSec = float64(ms.ARPQueries) / mgrARPSpan(f.Obs.Merge()).Seconds()
+
+	// Phase 2: exclusion fan-out. Fail a core uplink and time, in
+	// virtual time, the detection (link down → fault-matrix transition)
+	// and the fan-out proper (fault-matrix transition → last exclusion
+	// installed at a switch).
+	li, ok := f.LinkBetween("agg-p0-s0", "core-0")
+	if !ok {
+		return out, nil, fmt.Errorf("no agg-p0-s0<->core-0 link at k=%d", rig.K)
+	}
+	failAt := f.Eng.Now()
+	f.FailLink(li)
+	f.RunFor(mgrSettle)
+	merged := f.Obs.Merge()
+	var downAt, lastInstall time.Duration
+	for _, e := range merged {
+		if e.At < failAt {
+			continue
+		}
+		switch e.Kind {
+		case obs.MgrLinkDown:
+			if downAt == 0 {
+				downAt = e.At
+			}
+		case obs.MgrExclPush:
+			out.excl++
+		case obs.ExclInstall:
+			lastInstall = e.At
+		}
+	}
+	if downAt == 0 || lastInstall < downAt {
+		return out, nil, fmt.Errorf("link fault produced no exclusion cascade at shards=%d", shards)
+	}
+	out.detectMs = metrics.Ms(downAt - failAt)
+	out.fanoutMs = metrics.Ms(lastInstall - downAt)
+	out.convMs = metrics.Ms(lastInstall - failAt)
+	out.cell = obsCell(f, point, trial, rig.Seed)
+	if !report {
+		return out, nil, nil
+	}
+
+	rep := newReport("mgr", rig.Seed)
+	rep.Params["k"] = itoa(rig.K)
+	rep.Params["shards"] = itoa(shards)
+	rep.Params["batch"] = mgrBatchLabel(batch)
+	rep.Params["flows"] = itoa(cfg.Flows)
+	rep.Params["window"] = cfg.Window.String()
+	rep.Params["trial"] = itoa(trial)
+	rep.Params["arp_queries"] = fmt.Sprintf("%d", out.queries)
+	rep.Params["arp_batches"] = fmt.Sprintf("%d", out.batches)
+	rep.Params["batched_queries"] = fmt.Sprintf("%d", out.batched)
+	rep.Params["punt_msgs"] = fmt.Sprintf("%d", out.puntMsgs)
+	rep.Params["arps_per_sec_sim"] = fmt.Sprintf("%.0f", out.arpsPerSec)
+	rep.Params["reg_min"] = fmt.Sprintf("%d", out.regMin)
+	rep.Params["reg_max"] = fmt.Sprintf("%d", out.regMax)
+	rep.Params["detect_ms"] = fmt.Sprintf("%.3f", out.detectMs)
+	rep.Params["fanout_ms"] = fmt.Sprintf("%.3f", out.fanoutMs)
+	rep.Params["conv_ms"] = fmt.Sprintf("%.3f", out.convMs)
+	rep.Params["excl_pushed"] = itoa(out.excl)
+	rep.Params["fault_link"] = linkName(f, li)
+	rep.Timeline = obs.Timeline(merged, failAt, f.Eng.Now())
+	rep.Counters = f.ObsCounters()
+	rep.Cells = []obs.CellReport{out.cell}
+	return out, rep, nil
+}
+
+// ReplayMgr re-runs one (shards, batch, trial) cell of the manager
+// sweep and returns its full observability report — byte-identical on
+// every invocation at the same config, which the checked-in golden
+// pins.
+func ReplayMgr(cfg MgrConfig, shards int, batch time.Duration, trial int) (*obs.Report, error) {
+	for p := 0; p < len(cfg.Shards)*len(cfg.Batch); p++ {
+		s, b := cfg.mgrPoint(p)
+		if s == shards && b == batch {
+			_, rep, err := mgrCell(cfg, p, trial, true)
+			return rep, err
+		}
+	}
+	return nil, fmt.Errorf("no sweep point shards=%d batch=%v", shards, batch)
+}
+
+// RunMgr runs the manager-scaling sweep: every (shard count,
+// punt-batch) coordinate under the same sampled trace family. Cells
+// fan out over the runner pool; rows merge in point order so parallel
+// output is byte-identical to serial.
+func RunMgr(cfg MgrConfig) (*MgrResult, error) {
+	points := len(cfg.Shards) * len(cfg.Batch)
+	cells, err := runner.Grid(points, cfg.Trials, func(point, trial int) (mgrTrial, error) {
+		out, _, err := mgrCell(cfg, point, trial, false)
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MgrResult{Cfg: cfg}
+	res.Report = sweepReport("mgr", cfg.Rig.Seed, map[string]string{
+		"k":      itoa(cfg.Rig.K),
+		"trials": itoa(cfg.Trials),
+		"flows":  itoa(cfg.Flows),
+		"window": cfg.Window.String(),
+	}, nil)
+	for p, trials := range cells {
+		shards, batch := cfg.mgrPoint(p)
+		row := MgrRow{Shards: shards, Batch: batch}
+		var detMs, fanMs []float64
+		var arps float64
+		row.RegMin = int64(1<<62 - 1)
+		var batches, batched int64
+		for _, tr := range trials {
+			res.Report.Cells = append(res.Report.Cells, tr.cell)
+			row.Queries += tr.queries
+			row.PuntMsgs += tr.puntMsgs
+			batches += tr.batches
+			batched += tr.batched
+			arps += tr.arpsPerSec
+			if tr.regMin < row.RegMin {
+				row.RegMin = tr.regMin
+			}
+			if tr.regMax > row.RegMax {
+				row.RegMax = tr.regMax
+			}
+			detMs = append(detMs, tr.detectMs)
+			fanMs = append(fanMs, tr.convMs)
+			row.Excl += tr.excl
+		}
+		if row.Queries > 0 {
+			row.MsgsPerQ = float64(row.PuntMsgs) / float64(row.Queries)
+		}
+		if batches > 0 {
+			row.BatchFill = float64(batched) / float64(batches)
+		}
+		row.ARPsPerSec = arps / float64(len(trials))
+		row.Detect = metrics.Summarize(detMs)
+		row.Conv = metrics.Summarize(fanMs)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print tabulates the sweep: per (shards, batch) point, the punt
+// amortization (messages per query, batch fill), the virtual-time ARP
+// service rate, the registry spread across shards, and the
+// fault-exclusion latency — which must stay flat as shards grow,
+// because shard 0 alone is the route authority.
+func (r *MgrResult) Print(w io.Writer) {
+	fprintf(w, "Manager scaling — prefix-sharded registry + batched ARP punts\n")
+	fprintf(w, "(k=%d fat tree, %d sampled flows over %v per cell, %d trials/point; virtual-time rates)\n",
+		r.Cfg.Rig.K, r.Cfg.Flows, r.Cfg.Window, r.Cfg.Trials)
+	hr(w)
+	fprintf(w, "%6s %7s  %7s %7s %7s %6s  %9s  %11s  %16s %5s\n",
+		"shards", "batch", "queries", "msgs", "msgs/q", "fill", "arps/s", "reg min/max", "fail->excl (ms)", "excl")
+	for _, row := range r.Rows {
+		fill := "-"
+		if row.BatchFill > 0 {
+			fill = fmt.Sprintf("%.2f", row.BatchFill)
+		}
+		fprintf(w, "%6d %7s  %7d %7d %7.3f %6s  %9.0f  %5d/%-5d  %16.1f %5d\n",
+			row.Shards, mgrBatchLabel(row.Batch),
+			row.Queries, row.PuntMsgs, row.MsgsPerQ, fill,
+			row.ARPsPerSec, row.RegMin, row.RegMax,
+			row.Conv.Mean, row.Excl)
+	}
+	fmt.Fprintln(w)
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"portland/internal/metrics"
 	"portland/internal/obs"
@@ -145,6 +146,70 @@ func TestSCReportGolden(t *testing.T) {
 	}
 	if !bytes.Equal(again, got) {
 		t.Fatal("two in-process replays of the same scenario cell differ")
+	}
+}
+
+// TestMgrReportGolden pins the manager-sweep determinism acceptance
+// criterion: the same seed must yield a byte-identical `-exp mgr` cell
+// report, run after run — sharded registry, batched punts and all.
+// Regenerate with `go test ./internal/experiments -run Golden -update`
+// after an intentional schema or behavior change.
+func TestMgrReportGolden(t *testing.T) {
+	cfg := DefaultMgr()
+	rep, err := ReplayMgr(cfg, 2, 200*time.Microsecond, 0)
+	if err != nil {
+		t.Fatalf("ReplayMgr: %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	golden := filepath.Join("testdata", "mgr-report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fresh manager-sweep replay differs from golden %s (len %d vs %d); run with -update if the change is intentional", golden, len(got), len(want))
+	}
+	rep2, err := ReplayMgr(cfg, 2, 200*time.Microsecond, 0)
+	if err != nil {
+		t.Fatalf("ReplayMgr (second run): %v", err)
+	}
+	again, err := rep2.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes (second run): %v", err)
+	}
+	if !bytes.Equal(again, got) {
+		t.Fatal("two in-process replays of the same manager cell differ")
+	}
+}
+
+// TestMgrReportGoldenSharded re-runs the same manager cell on a
+// sharded *engine* (registry shards and engine shards compose) against
+// the same golden: byte-identity to the serial report is the contract.
+func TestMgrReportGoldenSharded(t *testing.T) {
+	cfg := DefaultMgr()
+	cfg.Rig.Shards = 5
+	rep, err := ReplayMgr(cfg, 2, 200*time.Microsecond, 0)
+	if err != nil {
+		t.Fatalf("ReplayMgr (sharded): %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "mgr-report.golden.json"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("engine-sharded manager replay differs from the serial golden (len %d vs %d): the shard determinism contract is broken", len(got), len(want))
 	}
 }
 

@@ -37,6 +37,33 @@ type Counters struct {
 	DHCPQueries   int64
 	GrayReports   int64
 	HostReplays   int64
+	// ARPBatches counts batched punt messages served and
+	// BatchedQueries the queries they carried (each also counted in
+	// ARPQueries), so the amortization ratio is directly readable.
+	ARPBatches     int64
+	BatchedQueries int64
+}
+
+// Add accumulates o into c. This is the per-shard merge: a fabric
+// running N registry shards reports the sum of every active shard's
+// counters, and because each registration and ARP punt is routed to
+// exactly one owning shard, summing never double-counts registry
+// churn (passive standbys mirror the stream and must be excluded by
+// the caller).
+func (c *Counters) Add(o Counters) {
+	c.ARPQueries += o.ARPQueries
+	c.ARPHits += o.ARPHits
+	c.ARPMisses += o.ARPMisses
+	c.Registrations += o.Registrations
+	c.Migrations += o.Migrations
+	c.FaultEvents += o.FaultEvents
+	c.ExclusionsSet += o.ExclusionsSet
+	c.McastInstalls += o.McastInstalls
+	c.DHCPQueries += o.DHCPQueries
+	c.GrayReports += o.GrayReports
+	c.HostReplays += o.HostReplays
+	c.ARPBatches += o.ARPBatches
+	c.BatchedQueries += o.BatchedQueries
 }
 
 type hostRecord struct {
@@ -175,6 +202,13 @@ type Manager struct {
 	// promoted (resync.go).
 	passive bool
 
+	// shardID/shardN make this manager one replica of a
+	// prefix-partitioned registry: it owns exactly the IPs with
+	// ctrlmsg.ShardOfIP(ip, shardN) == shardID. Edge switches route
+	// registrations and ARP punts to the owner, so the guard in
+	// register is belt-and-braces; shardN <= 1 means unsharded.
+	shardID, shardN int
+
 	// Resync bookkeeping: the epoch being collected, how many
 	// switches have yet to answer it, and the completion callback.
 	// ARP misses that race the resync are parked in pendingARP and
@@ -207,6 +241,22 @@ func New() *Manager {
 		pods:   make(map[ctrlmsg.SwitchID]uint16),
 		stale:  make(map[ether.Addr]staleEntry),
 	}
+}
+
+// SetShard makes the manager responsible for registry shard id of n
+// (0 of 1 = the classic unsharded manager). A shard ignores
+// registrations for IPs it does not own; shard 0 additionally carries
+// the route authority (faults, exclusions, pods, DHCP, multicast) in
+// the fabric's wiring.
+func (m *Manager) SetShard(id, n int) {
+	m.mu.Lock()
+	m.shardID, m.shardN = id, n
+	m.mu.Unlock()
+}
+
+// ownsIP reports whether this manager's shard owns ip.
+func (m *Manager) ownsIP(ip netip.Addr) bool {
+	return m.shardN <= 1 || ctrlmsg.ShardOfIP(ip, m.shardN) == m.shardID
 }
 
 // SetJournal directs the manager's control-plane events into j. Safe
@@ -272,6 +322,8 @@ func (s *Session) Handle(msg ctrlmsg.Msg) {
 		m.register(v)
 	case ctrlmsg.ARPQuery:
 		m.handleARP(v)
+	case ctrlmsg.ARPQueryBatch:
+		m.handleARPBatch(v)
 	case ctrlmsg.FaultNotify:
 		m.handleFault(v)
 	case ctrlmsg.McastJoin:
@@ -411,8 +463,13 @@ func (m *Manager) deliverStales(id ctrlmsg.SwitchID, loc ctrlmsg.Loc) {
 }
 
 // register installs or updates an IP mapping; a changed PMAC for a
-// known IP is a VM migration (paper §3.4).
+// known IP is a VM migration (paper §3.4). A sharded manager drops
+// registrations it does not own — the switch-side router already
+// steers them, so an off-shard arrival is a misroute, not load.
 func (m *Manager) register(v ctrlmsg.PMACRegister) {
+	if !m.ownsIP(v.IP) {
+		return
+	}
 	m.Stats.Registrations++
 	prev, existed := m.ips[v.IP]
 	if existed && prev.pmac == v.PMAC {
@@ -480,6 +537,51 @@ func (m *Manager) serveARP(v ctrlmsg.ARPQuery) {
 	// the cached edge set — one batch, no per-miss sort or filter.
 	for _, id := range m.edgeSwitchIDs() {
 		m.send(id, flood)
+	}
+}
+
+// handleARPBatch serves one batched punt. Hits and immediate misses
+// are answered together in a single ARPAnswerBatch and the whole batch
+// records one journal event — the amortization that makes batching pay
+// at storm rates. Misses still flood individually (floods are rare and
+// latency-critical), and queries that race a resync are parked exactly
+// like unbatched ones, to be re-served one at a time on sync-done.
+func (m *Manager) handleARPBatch(v ctrlmsg.ARPQueryBatch) {
+	m.Stats.ARPBatches++
+	m.Stats.BatchedQueries += int64(len(v.Queries))
+	m.Stats.ARPQueries += int64(len(v.Queries))
+	answers := make([]ctrlmsg.ARPAnswerItem, 0, len(v.Queries))
+	hits, misses := 0, 0
+	for _, q := range v.Queries {
+		if rec, ok := m.ips[q.TargetIP]; ok {
+			m.Stats.ARPHits++
+			hits++
+			answers = append(answers, ctrlmsg.ARPAnswerItem{
+				QueryID: q.QueryID, Found: true, TargetIP: q.TargetIP, PMAC: rec.pmac,
+			})
+			continue
+		}
+		if m.syncWaiting > 0 {
+			m.jou.Record(obs.MgrARPParked, uint64(v.Switch), q.QueryID, ip4u32(q.TargetIP), 0)
+			m.pendingARP = append(m.pendingARP, ctrlmsg.ARPQuery{
+				Switch: v.Switch, QueryID: q.QueryID,
+				SenderPMAC: q.SenderPMAC, SenderIP: q.SenderIP, TargetIP: q.TargetIP,
+			})
+			continue
+		}
+		m.Stats.ARPMisses++
+		misses++
+		answers = append(answers, ctrlmsg.ARPAnswerItem{
+			QueryID: q.QueryID, Found: false, TargetIP: q.TargetIP,
+		})
+		flood := ctrlmsg.ARPFlood{QueryID: q.QueryID, SenderPMAC: q.SenderPMAC, SenderIP: q.SenderIP, TargetIP: q.TargetIP}
+		for _, id := range m.edgeSwitchIDs() {
+			m.send(id, flood)
+		}
+	}
+	m.jou.Record(obs.MgrARPBatch, uint64(v.Switch), uint64(len(v.Queries)), uint64(hits), uint64(misses))
+	if len(answers) > 0 {
+		m.send(v.Switch, ctrlmsg.ARPAnswerBatch{Answers: answers})
 	}
 }
 

@@ -57,7 +57,7 @@ type rig struct {
 	sess  map[ctrlmsg.SwitchID]*Session
 }
 
-func newRig(t *testing.T) *rig {
+func newRig(t testing.TB) *rig {
 	t.Helper()
 	r := &rig{m: New(), conns: map[ctrlmsg.SwitchID]*recConn{}, sess: map[ctrlmsg.SwitchID]*Session{}}
 	locs := map[ctrlmsg.SwitchID]ctrlmsg.Loc{

@@ -168,6 +168,12 @@ const (
 	// a rebooted edge switch (ctrlmsg.HostInstall). A=edge switch ID,
 	// B=host IPv4 packed big-endian.
 	MgrHostReplay
+	// MgrARPBatch: the manager served one batched ARP punt
+	// (ctrlmsg.ARPQueryBatch) — the journal amortization of punt
+	// batching: one event per batch instead of one per query.
+	// A=querying switch ID, B=queries in the batch, C=registry hits,
+	// D=misses flooded.
+	MgrARPBatch
 
 	numKinds // internal bound; keep last
 )
@@ -218,6 +224,7 @@ var kindNames = [numKinds]string{
 	FaultApplied:    "fault-applied",
 	FaultRecovered:  "fault-recovered",
 	MgrHostReplay:   "mgr-host-replay",
+	MgrARPBatch:     "mgr-arp-batch",
 }
 
 // String returns the kind's stable wire name (used in reports).
@@ -280,6 +287,8 @@ func (e Event) Text() string {
 		return fmt.Sprintf("epoch=%d", e.A)
 	case MgrARPHit, MgrARPMiss, MgrARPParked:
 		return fmt.Sprintf("switch=%d query=%d", e.A, e.B)
+	case MgrARPBatch:
+		return fmt.Sprintf("switch=%d queries=%d hits=%d misses=%d", e.A, e.B, e.C, e.D)
 	case MgrRegister, MgrMigrate:
 		return fmt.Sprintf("edge=%d ip=%s", e.A, ipv4(e.B))
 	case MgrPodAssign:

@@ -102,7 +102,8 @@ func (s *Switch) learnIP(amac ether.Addr, pm pmac.PMAC, ip netip.Addr) {
 		return
 	}
 	s.ipOf[amac] = ip
-	s.sendCtrl(ctrlmsg.PMACRegister{Switch: s.id, IP: ip, AMAC: amac, PMAC: pm.Addr()})
+	s.sendCtrlTo(ctrlmsg.ShardOfIP(ip, s.numShards()),
+		ctrlmsg.PMACRegister{Switch: s.id, IP: ip, AMAC: amac, PMAC: pm.Addr()})
 }
 
 // puntARP forwards a host's ARP request to the fabric manager and
@@ -116,13 +117,67 @@ func (s *Switch) puntARP(port int, hostMAC ether.Addr, p *arppkt.Packet) {
 	// microseconds; anything older than a host ARP retry is dead.
 	s.eng.Schedule(pendingARPTTL, func() { delete(s.pending, id) })
 	senderPM, _ := s.table.LookupAMAC(hostMAC)
-	s.sendCtrl(ctrlmsg.ARPQuery{
+	// The shard owning the *target* IP holds the mapping being asked for.
+	shard := ctrlmsg.ShardOfIP(p.TargetIP, s.numShards())
+	if s.puntBatch > 0 {
+		s.bufferPunt(shard, ctrlmsg.ARPQueryItem{
+			QueryID:    id,
+			SenderPMAC: senderPM.Addr(),
+			SenderIP:   p.SenderIP,
+			TargetIP:   p.TargetIP,
+		})
+		return
+	}
+	s.sendCtrlTo(shard, ctrlmsg.ARPQuery{
 		Switch:     s.id,
 		QueryID:    id,
 		SenderPMAC: senderPM.Addr(),
 		SenderIP:   p.SenderIP,
 		TargetIP:   p.TargetIP,
 	})
+}
+
+// puntBatchMax caps a single ARPQueryBatch; a full buffer flushes
+// immediately rather than waiting out the hold timer.
+const puntBatchMax = 64
+
+// bufferPunt queues one ARP miss for the owning shard and arms the
+// hold timer on the first queued entry.
+func (s *Switch) bufferPunt(shard int, q ctrlmsg.ARPQueryItem) {
+	if s.puntBuf == nil {
+		s.puntBuf = make([][]ctrlmsg.ARPQueryItem, s.numShards())
+	}
+	s.puntBuf[shard] = append(s.puntBuf[shard], q)
+	if len(s.puntBuf[shard]) >= puntBatchMax {
+		s.flushPunts()
+		return
+	}
+	if !s.puntArmed {
+		s.puntArmed = true
+		if s.puntTimer == nil {
+			s.puntTimer = s.eng.NewTimer(s.flushPunts)
+		}
+		s.puntTimer.Reset(s.puntBatch)
+	}
+}
+
+// flushPunts drains every shard's buffer, one ARPQueryBatch message
+// (and one manager journal record) per non-empty shard — the
+// amortization the batching exists for.
+func (s *Switch) flushPunts() {
+	s.puntArmed = false
+	if s.puntTimer != nil {
+		s.puntTimer.Stop()
+	}
+	for shard, buf := range s.puntBuf {
+		if len(buf) == 0 {
+			continue
+		}
+		qs := make([]ctrlmsg.ARPQueryItem, len(buf))
+		copy(qs, buf)
+		s.puntBuf[shard] = buf[:0]
+		s.sendCtrlTo(shard, ctrlmsg.ARPQueryBatch{Switch: s.id, Queries: qs})
+	}
 }
 
 // pendingARPTTL bounds how long a punted ARP request waits for the

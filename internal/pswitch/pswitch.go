@@ -80,6 +80,19 @@ type Switch struct {
 
 	agent *ldp.Agent
 	ctrl  ctrlnet.Conn
+	// ctrlShards, when the fabric manager is prefix-sharded, holds one
+	// control channel per registry shard (ctrlShards[0] == ctrl).
+	// Registration and ARP punts route by ctrlmsg.ShardOfIP; everything
+	// route- or fault-related stays on shard 0, the route authority.
+	ctrlShards []ctrlnet.Conn
+
+	// Punt batching (off unless SetPuntBatch armed it): per-shard
+	// buffers of pending ARP-miss punts, flushed as one ARPQueryBatch
+	// per shard when the hold timer fires or a buffer fills.
+	puntBatch time.Duration
+	puntBuf   [][]ctrlmsg.ARPQueryItem
+	puntTimer *sim.Timer
+	puntArmed bool
 
 	loc      ctrlmsg.Loc
 	resolved bool
@@ -178,7 +191,39 @@ func (s *Switch) Attach(port int, l *sim.Link) { s.links[port] = l }
 
 // SetControl wires the switch's channel to the fabric manager. Must be
 // called before Start.
-func (s *Switch) SetControl(c ctrlnet.Conn) { s.ctrl = c }
+func (s *Switch) SetControl(c ctrlnet.Conn) {
+	s.ctrl = c
+	s.ctrlShards = nil
+}
+
+// SetControlShards wires the switch to a prefix-sharded fabric manager:
+// conns[i] reaches registry shard i. A single-element slice is exactly
+// SetControl — every message goes to shard 0 and the wire traffic is
+// byte-identical to the unsharded fabric. Must be called before Start.
+func (s *Switch) SetControlShards(conns []ctrlnet.Conn) {
+	if len(conns) == 0 {
+		return
+	}
+	s.ctrl = conns[0]
+	s.ctrlShards = nil
+	if len(conns) > 1 {
+		s.ctrlShards = conns
+	}
+}
+
+// SetPuntBatch arms ARP punt batching: instead of one ARPQuery per
+// host request, the switch holds misses for up to d and sends one
+// ARPQueryBatch per manager shard. Zero (the default) keeps the
+// immediate per-query path, byte-identical to prior behavior.
+func (s *Switch) SetPuntBatch(d time.Duration) { s.puntBatch = d }
+
+// numShards returns how many manager shards the switch is wired to.
+func (s *Switch) numShards() int {
+	if len(s.ctrlShards) > 1 {
+		return len(s.ctrlShards)
+	}
+	return 1
+}
 
 // SetJournal directs the switch's (and its LDP agent's) control-plane
 // events into j. Safe to leave unset.
@@ -198,7 +243,7 @@ func (s *Switch) flushFlows() {
 // Start implements sim.Node: announce to the fabric manager and begin
 // location discovery.
 func (s *Switch) Start() {
-	s.sendCtrl(ctrlmsg.Hello{Switch: s.id})
+	s.sendCtrlAll(ctrlmsg.Hello{Switch: s.id})
 	s.agent.Start()
 	s.startDetector()
 }
@@ -210,6 +255,14 @@ func (s *Switch) Fail() {
 	s.failed = true
 	s.agent.Stop()
 	s.stopDetector()
+	// Buffered punts die with the switch, like any other soft state.
+	s.puntArmed = false
+	if s.puntTimer != nil {
+		s.puntTimer.Stop()
+	}
+	for i := range s.puntBuf {
+		s.puntBuf[i] = s.puntBuf[i][:0]
+	}
 	s.jou.Record(obs.SwitchFailed, 0, 0, 0, 0)
 }
 
@@ -338,6 +391,26 @@ func (s *Switch) sendCtrl(m ctrlmsg.Msg) {
 	}
 }
 
+// sendCtrlTo routes m to one manager shard. Shard 0 (and any shard on
+// an unsharded fabric) is the plain sendCtrl path.
+func (s *Switch) sendCtrlTo(shard int, m ctrlmsg.Msg) {
+	if shard > 0 && shard < len(s.ctrlShards) {
+		_ = s.ctrlShards[shard].Send(m)
+		return
+	}
+	s.sendCtrl(m)
+}
+
+// sendCtrlAll fans m out to every manager shard: identity and location
+// must be shared state, since each shard floods ARP misses to the edge
+// set and replays its registry slice on resync.
+func (s *Switch) sendCtrlAll(m ctrlmsg.Msg) {
+	s.sendCtrl(m)
+	for i := 1; i < len(s.ctrlShards); i++ {
+		_ = s.ctrlShards[i].Send(m)
+	}
+}
+
 // --- ldp.Env ---
 
 // ID implements ldp.Env.
@@ -368,7 +441,7 @@ func (e *agentEnv) LocationResolved(loc ctrlmsg.Loc) {
 	if loc.Level == ctrlmsg.LevelEdge {
 		s.table.SetLocation(loc.Pod, loc.Pos)
 	}
-	s.sendCtrl(ctrlmsg.LocationReport{Switch: s.id, Loc: loc})
+	s.sendCtrlAll(ctrlmsg.LocationReport{Switch: s.id, Loc: loc})
 	// Report current adjacency so the fabric manager's graph includes
 	// links discovered before resolution.
 	for port := range s.links {
@@ -418,8 +491,18 @@ func (s *Switch) reportPort(port int, peer ldp.Neighbor, up bool) {
 
 // --- control messages from the fabric manager ---
 
-// HandleCtrl processes a message from the fabric manager.
-func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
+// HandleCtrl processes a message from the fabric manager (shard 0 on
+// a sharded fabric).
+func (s *Switch) HandleCtrl(m ctrlmsg.Msg) { s.handleCtrlFrom(0, m) }
+
+// CtrlHandlerFor returns the receive handler for manager shard i's
+// control channel, so replies that depend on the peer — resync replays
+// in particular — route back to the shard that asked.
+func (s *Switch) CtrlHandlerFor(shard int) ctrlnet.Handler {
+	return func(m ctrlmsg.Msg) { s.handleCtrlFrom(shard, m) }
+}
+
+func (s *Switch) handleCtrlFrom(shard int, m ctrlmsg.Msg) {
 	if s.failed {
 		return
 	}
@@ -428,6 +511,10 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 		s.agent.SetPod(v.Pod)
 	case ctrlmsg.ARPAnswer:
 		s.handleARPAnswer(v)
+	case ctrlmsg.ARPAnswerBatch:
+		for _, a := range v.Answers {
+			s.handleARPAnswer(ctrlmsg.ARPAnswer{QueryID: a.QueryID, Found: a.Found, TargetIP: a.TargetIP, PMAC: a.PMAC})
+		}
 	case ctrlmsg.ARPFlood:
 		s.handleARPFlood(v)
 	case ctrlmsg.RouteExclude:
@@ -464,7 +551,7 @@ func (s *Switch) HandleCtrl(m ctrlmsg.Msg) {
 	case ctrlmsg.DHCPAnswer:
 		s.handleDHCPAnswer(v)
 	case ctrlmsg.StateSyncRequest:
-		s.resync(v.Epoch)
+		s.resync(shard, v.Epoch)
 	default:
 		// Benign: newer fabric managers may speak extra kinds.
 	}

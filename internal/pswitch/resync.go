@@ -30,69 +30,89 @@ type joinKey struct {
 // fault reports re-derive the exclusions — the safe direction, since
 // the dataplane's liveness checks (LDP) still guard dead ports
 // locally.
-func (s *Switch) resync(epoch uint32) {
-	s.jou.Record(obs.SwitchResync, uint64(epoch), 0, 0, 0)
-	s.excl = make(map[exclKey]bool)
-	s.mcast = make(map[uint32][]int)
-	s.flushFlows()
-
-	s.sendCtrl(ctrlmsg.Hello{Switch: s.id})
-	if s.resolved {
-		s.sendCtrl(ctrlmsg.LocationReport{Switch: s.id, Loc: s.loc})
+//
+// On a prefix-sharded fabric each shard resyncs independently: the
+// replay routes every message to the shard that asked, restricted to
+// the state that shard owns. Route-authority state (adjacency, leases,
+// group membership — and the exclusion/mcast drop above) belongs to
+// shard 0 alone; the host registry and outstanding punts are sliced by
+// ctrlmsg.ShardOfIP. With one shard this is exactly the old replay.
+func (s *Switch) resync(shard int, epoch uint32) {
+	s.jou.Record(obs.SwitchResync, uint64(epoch), uint64(shard), 0, 0)
+	n := s.numShards()
+	if shard == 0 {
+		s.excl = make(map[exclKey]bool)
+		s.mcast = make(map[uint32][]int)
+		s.flushFlows()
 	}
-	// Adjacency: every discovered neighbor, live and dead, so the
-	// manager's fault matrix matches the fabric's current health.
-	for port := range s.links {
-		if n, ok := s.agent.Neighbor(port); ok {
-			s.reportPort(port, n, n.Alive)
+
+	s.sendCtrlTo(shard, ctrlmsg.Hello{Switch: s.id})
+	if s.resolved {
+		s.sendCtrlTo(shard, ctrlmsg.LocationReport{Switch: s.id, Loc: s.loc})
+	}
+	if shard == 0 {
+		// Adjacency: every discovered neighbor, live and dead, so the
+		// manager's fault matrix matches the fabric's current health.
+		for port := range s.links {
+			if nb, ok := s.agent.Neighbor(port); ok {
+				s.reportPort(port, nb, nb.Alive)
+			}
 		}
 	}
-	// Host registry (edge role). Sorted for deterministic replay.
+	// Host registry (edge role), this shard's slice. Sorted for
+	// deterministic replay.
 	for _, amac := range sortedMACKeys(s.ipOf) {
+		if ctrlmsg.ShardOfIP(s.ipOf[amac], n) != shard {
+			continue
+		}
 		pm, ok := s.table.LookupAMAC(amac)
 		if !ok {
 			continue
 		}
-		s.sendCtrl(ctrlmsg.PMACRegister{Switch: s.id, IP: s.ipOf[amac], AMAC: amac, PMAC: pm.Addr()})
+		s.sendCtrlTo(shard, ctrlmsg.PMACRegister{Switch: s.id, IP: s.ipOf[amac], AMAC: amac, PMAC: pm.Addr()})
 	}
-	// DHCP leases cached from proxied answers.
-	for _, mac := range sortedMACKeys(s.leases) {
-		s.sendCtrl(ctrlmsg.LeaseReport{Switch: s.id, MAC: mac, IP: s.leases[mac]})
-	}
-	// Multicast membership replays.
-	keys := make([]joinKey, 0, len(s.joins))
-	for k := range s.joins {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].group != keys[j].group {
-			return keys[i].group < keys[j].group
+	if shard == 0 {
+		// DHCP leases cached from proxied answers.
+		for _, mac := range sortedMACKeys(s.leases) {
+			s.sendCtrl(ctrlmsg.LeaseReport{Switch: s.id, MAC: mac, IP: s.leases[mac]})
 		}
-		return bytes.Compare(keys[i].pmac[:], keys[j].pmac[:]) < 0
-	})
-	for _, k := range keys {
-		s.sendCtrl(ctrlmsg.McastJoin{
-			Switch:   s.id,
-			Group:    k.group,
-			HostPMAC: k.pmac,
-			Join:     true,
-			Source:   s.joins[k],
+		// Multicast membership replays.
+		keys := make([]joinKey, 0, len(s.joins))
+		for k := range s.joins {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].group != keys[j].group {
+				return keys[i].group < keys[j].group
+			}
+			return bytes.Compare(keys[i].pmac[:], keys[j].pmac[:]) < 0
 		})
+		for _, k := range keys {
+			s.sendCtrl(ctrlmsg.McastJoin{
+				Switch:   s.id,
+				Group:    k.group,
+				HostPMAC: k.pmac,
+				Join:     true,
+				Source:   s.joins[k],
+			})
+		}
 	}
-	// Re-issue outstanding ARP punts. The originals may have died with
-	// the old manager, or raced this resync's Hello into the new
-	// session (which drops anything pre-Hello); the manager parks
-	// these until its registry is rebuilt and answers from the
-	// replayed state.
+	// Re-issue outstanding ARP punts whose target this shard owns. The
+	// originals may have died with the old manager, or raced this
+	// resync's Hello into the new session (which drops anything
+	// pre-Hello); the manager parks these until its registry is rebuilt
+	// and answers from the replayed state.
 	ids := make([]uint64, 0, len(s.pending))
 	for id := range s.pending {
-		ids = append(ids, id)
+		if ctrlmsg.ShardOfIP(s.pending[id].targetIP, n) == shard {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		p := s.pending[id]
 		senderPM, _ := s.table.LookupAMAC(p.hostMAC)
-		s.sendCtrl(ctrlmsg.ARPQuery{
+		s.sendCtrlTo(shard, ctrlmsg.ARPQuery{
 			Switch:     s.id,
 			QueryID:    id,
 			SenderPMAC: senderPM.Addr(),
@@ -100,7 +120,7 @@ func (s *Switch) resync(epoch uint32) {
 			TargetIP:   p.targetIP,
 		})
 	}
-	s.sendCtrl(ctrlmsg.SyncDone{Switch: s.id, Epoch: epoch})
+	s.sendCtrlTo(shard, ctrlmsg.SyncDone{Switch: s.id, Epoch: epoch})
 }
 
 func sortedMACKeys(m map[ether.Addr]netip.Addr) []ether.Addr {
