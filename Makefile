@@ -8,14 +8,18 @@ BENCH_OUT ?= BENCH_$(DATE).json
 # The steady-state data-path benchmarks that must report 0 allocs/op.
 ZERO_ALLOC_BENCHES := LinkSend$$|ForwardUnicastHit$$|EndToEndEcho$$
 
-.PHONY: check build vet test race fuzz bench bench-alloc bench-gate bench-shard bench-mgr bench-json bench-diff profile docs-lint report-golden
+.PHONY: check build vet test race fuzz bench bench-alloc bench-gate bench-shard bench-mgr bench-ft bench-json bench-diff profile docs-lint report-golden
 
-check: vet build docs-lint test race fuzz bench bench-alloc bench-gate bench-shard bench-mgr
+check: vet build docs-lint test race fuzz bench bench-alloc bench-gate bench-shard bench-mgr bench-ft
 
 # Documentation gate: every exported identifier in the observability
-# surface (obs, metrics, trace) must carry a doc comment.
+# surface (obs, metrics, trace), the workload/topology/control-message
+# layers and the hardware-model packages must carry a doc comment that
+# opens with the identifier's name (docslint also catches comments that
+# survived a rename).
 docs-lint:
-	$(GO) run ./cmd/docslint ./internal/obs ./internal/metrics ./internal/trace
+	$(GO) run ./cmd/docslint ./internal/obs ./internal/metrics ./internal/trace \
+		./internal/workload ./internal/topo ./internal/ctrlmsg ./internal/flowtable
 
 # Report-schema gate alone (also runs as part of `make test`): the
 # checked-in Fig. 9 and scenario-replay reports must round-trip
@@ -30,7 +34,7 @@ docs-lint:
 # Regenerate with:
 #   go test ./internal/experiments -run Golden -update
 report-golden:
-	$(GO) test ./internal/experiments -run 'Fig9ReportGolden|SCReportGolden|MgrReportGolden'
+	$(GO) test ./internal/experiments -run 'Fig9ReportGolden|SCReportGolden|MgrReportGolden|FTReportGolden'
 
 build:
 	$(GO) build ./...
@@ -119,6 +123,23 @@ bench-mgr:
 	$(GO) run ./cmd/benchjson -gate $(BENCH_MGR_BASELINE) \
 		-gate-tolerance 0.50 -gate-alloc-tolerance 0.02 < bench-mgr.out
 	rm -f bench-mgr.out
+
+# Hardware table-pressure gate: eviction throughput on a bounded flow
+# table (LRU and random policies, with the unbounded control isolating
+# the bookkeeping cost) and the fabric-level thrash rate under a tiny
+# generation envelope. The self-reported `occupancy` metric must pin at
+# 1 — a bounded table that isn't full isn't under pressure — and
+# `evict/op` records the eviction rate; `cmd/benchjson -diff` tabulates
+# both. Single-core caveat: FabricTablePressure advances one serial
+# engine, so its ns/op measures scheduler + eviction cost, not any
+# parallel speedup.
+BENCH_FT_BASELINE ?= BENCH_2026-08-09-ft.json
+bench-ft:
+	$(GO) test -bench 'TablePressure|TableUnbounded' -benchtime 300ms -benchmem -run '^$$' \
+		./internal/flowtable ./internal/core > bench-ft.out
+	$(GO) run ./cmd/benchjson -gate $(BENCH_FT_BASELINE) \
+		-gate-tolerance 0.50 -gate-alloc-tolerance 0.02 < bench-ft.out
+	rm -f bench-ft.out
 
 # Full benchmark sweep serialized into a dated JSON baseline.
 bench-json:

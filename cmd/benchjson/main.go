@@ -264,15 +264,15 @@ func diffLines(oldRep, newRep report) []string {
 		oldBy[normName(b.Name)] = b
 	}
 	seen := make(map[string]bool)
-	out := []string{fmt.Sprintf("%-52s %6s %7s %12s %12s %8s  %10s %10s",
-		"benchmark", "shards", "flows", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")}
+	out := []string{fmt.Sprintf("%-52s %6s %7s %5s %12s %12s %8s  %10s %10s",
+		"benchmark", "shards", "flows", "occ", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")}
 	for _, nb := range newRep.Benchmarks {
 		name := normName(nb.Name)
 		seen[name] = true
 		ob, ok := oldBy[name]
 		if !ok {
-			out = append(out, fmt.Sprintf("%-52s %6s %7s %12s %12.1f %8s  %10s %10g",
-				name, metricCol(nb, "shards"), metricCol(nb, "flows"), "-", nb.Metrics["ns/op"], "added", "-", nb.Metrics["allocs/op"]))
+			out = append(out, fmt.Sprintf("%-52s %6s %7s %5s %12s %12.1f %8s  %10s %10g",
+				name, metricCol(nb, "shards"), metricCol(nb, "flows"), metricCol(nb, "occupancy"), "-", nb.Metrics["ns/op"], "added", "-", nb.Metrics["allocs/op"]))
 			continue
 		}
 		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
@@ -280,14 +280,14 @@ func diffLines(oldRep, newRep report) []string {
 		if oldNs > 0 {
 			delta = fmt.Sprintf("%+.1f%%", (newNs-oldNs)/oldNs*100)
 		}
-		out = append(out, fmt.Sprintf("%-52s %6s %7s %12.1f %12.1f %8s  %10g %10g",
-			name, metricCol(nb, "shards"), metricCol(nb, "flows"), oldNs, newNs, delta, ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
+		out = append(out, fmt.Sprintf("%-52s %6s %7s %5s %12.1f %12.1f %8s  %10g %10g",
+			name, metricCol(nb, "shards"), metricCol(nb, "flows"), metricCol(nb, "occupancy"), oldNs, newNs, delta, ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
 	}
 	for _, ob := range oldRep.Benchmarks {
 		name := normName(ob.Name)
 		if !seen[name] {
-			out = append(out, fmt.Sprintf("%-52s %6s %7s %12.1f %12s %8s  %10g %10s",
-				name, metricCol(ob, "shards"), metricCol(ob, "flows"), ob.Metrics["ns/op"], "-", "removed", ob.Metrics["allocs/op"], "-"))
+			out = append(out, fmt.Sprintf("%-52s %6s %7s %5s %12.1f %12s %8s  %10g %10s",
+				name, metricCol(ob, "shards"), metricCol(ob, "flows"), metricCol(ob, "occupancy"), ob.Metrics["ns/op"], "-", "removed", ob.Metrics["allocs/op"], "-"))
 		}
 	}
 	return out
@@ -295,7 +295,8 @@ func diffLines(oldRep, newRep report) []string {
 
 // metricCol renders one of the benchmark's self-reported dimension
 // metrics (the engine/registry `shards` count, the workload `flows`
-// count), "-" for benchmarks that do not report it.
+// count, the bounded flow-table `occupancy` fraction), "-" for
+// benchmarks that do not report it.
 func metricCol(b benchmark, key string) string {
 	v, ok := b.Metrics[key]
 	if !ok {

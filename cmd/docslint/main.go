@@ -1,14 +1,20 @@
 // Command docslint enforces the documentation bar on selected
 // packages: every exported identifier — functions, types, methods on
-// exported types, and const/var groups — must carry a doc comment, and
-// every package must have a package comment. It is a stdlib-only
-// subset of what golint used to check, wired into `make docs-lint`.
+// exported types, and const/var groups — must carry a doc comment,
+// every package must have a package comment, and a doc comment must
+// open with the name of the identifier it documents (a leading "A",
+// "An" or "The" is allowed), so godoc renders a sentence and stale
+// comments that survived a rename get caught. Grouped const/var/type
+// declarations documented once at the group level are exempt from the
+// naming rule — the idiomatic way to document enum blocks. It is a
+// stdlib-only subset of what golint used to check, wired into
+// `make docs-lint`.
 //
 // Usage:
 //
 //	docslint ./internal/obs ./internal/metrics ./internal/trace
 //
-// Exit status is 1 if any identifier is undocumented.
+// Exit status is 1 if any identifier is undocumented or misdocumented.
 package main
 
 import (
@@ -36,13 +42,14 @@ func main() {
 		bad += n
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "docslint: %d undocumented exported identifier(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "docslint: %d documentation issue(s)\n", bad)
 		os.Exit(1)
 	}
 }
 
 // lintDir parses one package directory (tests excluded) and reports
-// every undocumented exported identifier. Returns the finding count.
+// every undocumented or misdocumented exported identifier. Returns
+// the finding count.
 func lintDir(dir string) (int, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
@@ -56,6 +63,12 @@ func lintDir(dir string) (int, error) {
 		p := fset.Position(pos)
 		fmt.Printf("%s:%d: %s %s is exported but undocumented\n",
 			filepath.ToSlash(p.Filename), p.Line, what, name)
+		bad++
+	}
+	misnamed := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s: doc comment does not start with %q\n",
+			filepath.ToSlash(p.Filename), p.Line, what, name, name)
 		bad++
 	}
 	for _, pkg := range pkgs {
@@ -76,18 +89,24 @@ func lintDir(dir string) (int, error) {
 			for _, decl := range f.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
-					if !d.Name.IsExported() || d.Doc != nil {
+					if !d.Name.IsExported() {
 						continue
 					}
-					if recv := receiverType(d); recv != "" {
-						if ast.IsExported(recv) {
-							complain(d.Pos(), "method", recv+"."+d.Name.Name)
+					recv := receiverType(d)
+					what, name := "func", d.Name.Name
+					if recv != "" {
+						if !ast.IsExported(recv) {
+							continue
 						}
-						continue
+						what, name = "method", recv+"."+d.Name.Name
 					}
-					complain(d.Pos(), "func", d.Name.Name)
+					if d.Doc == nil {
+						complain(d.Pos(), what, name)
+					} else if !docNames(d.Doc, d.Name.Name) {
+						misnamed(d.Pos(), what, name)
+					}
 				case *ast.GenDecl:
-					lintGenDecl(d, complain)
+					lintGenDecl(d, complain, misnamed)
 				}
 			}
 		}
@@ -97,29 +116,81 @@ func lintDir(dir string) (int, error) {
 
 // lintGenDecl checks a type/const/var declaration. A doc comment on
 // the grouped declaration covers every spec inside it (the idiomatic
-// way to document enum blocks); otherwise each exported spec needs its
-// own.
-func lintGenDecl(d *ast.GenDecl, complain func(token.Pos, string, string)) {
+// way to document enum blocks) and is exempt from the naming rule
+// unless the group holds a single spec — then it documents exactly
+// one identifier and must open with its name. Otherwise each exported
+// spec needs its own comment, name-checked when it is a doc comment
+// (trailing line comments are free-form).
+func lintGenDecl(d *ast.GenDecl, complain, misnamed func(token.Pos, string, string)) {
 	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
 		return
 	}
 	if d.Doc != nil {
+		if len(d.Specs) != 1 {
+			return
+		}
+		if what, name, pos, ok := specIdent(d, d.Specs[0]); ok && !docNames(d.Doc, name) {
+			misnamed(pos, what, name)
+		}
 		return
 	}
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
-			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && s.Comment == nil {
 				complain(s.Pos(), "type", s.Name.Name)
+			} else if s.Doc != nil && !docNames(s.Doc, s.Name.Name) {
+				misnamed(s.Pos(), "type", s.Name.Name)
 			}
 		case *ast.ValueSpec:
 			for _, name := range s.Names {
-				if name.IsExported() && s.Doc == nil && s.Comment == nil {
+				if !name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && s.Comment == nil {
 					complain(name.Pos(), d.Tok.String(), name.Name)
+				} else if s.Doc != nil && len(s.Names) == 1 && !docNames(s.Doc, name.Name) {
+					misnamed(name.Pos(), d.Tok.String(), name.Name)
 				}
 			}
 		}
 	}
+}
+
+// specIdent extracts the single documented identifier of a one-spec
+// declaration, reporting ok=false for unexported or multi-name specs.
+func specIdent(d *ast.GenDecl, spec ast.Spec) (what, name string, pos token.Pos, ok bool) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if s.Name.IsExported() {
+			return "type", s.Name.Name, s.Pos(), true
+		}
+	case *ast.ValueSpec:
+		if len(s.Names) == 1 && s.Names[0].IsExported() {
+			return d.Tok.String(), s.Names[0].Name, s.Names[0].Pos(), true
+		}
+	}
+	return "", "", token.NoPos, false
+}
+
+// docNames reports whether a doc comment opens with the identifier it
+// documents, allowing a leading article ("A", "An", "The") before the
+// name.
+func docNames(doc *ast.CommentGroup, name string) bool {
+	words := strings.Fields(doc.Text())
+	if len(words) == 0 {
+		return false
+	}
+	if strings.TrimRight(words[0], ".,:;") == name {
+		return true
+	}
+	if words[0] == "A" || words[0] == "An" || words[0] == "The" {
+		return len(words) > 1 && strings.TrimRight(words[1], ".,:;") == name
+	}
+	return false
 }
 
 // receiverType returns the bare receiver type name of a method, or ""

@@ -47,7 +47,7 @@ func main() {
 
 func run() int {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,fmf,sc,mgr,a1..a6) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (t1,f9,f10,f11,f12,f13,f14,fmf,sc,mgr,ft,a1..a6) or 'all'")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		quick      = flag.Bool("quick", false, "reduced trial counts")
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
@@ -105,6 +105,7 @@ func run() int {
 		{"fmf", "Manager failover: ARP blackout + convergence vs outage/control loss", runFMF},
 		{"sc", "Scenario engine: time-to-detect/reroute per fault family", runSC},
 		{"mgr", "Manager scaling: prefix-sharded registry + batched ARP punts", runMgr},
+		{"ft", "Table pressure: hardware envelopes vs fabric scale", runFT},
 		{"a1", "Ablation A1: ECMP vs spanning-tree cross-section goodput", runA1},
 		{"a2", "Ablation A2: LDP discovery time vs k", runA2},
 		{"a3", "Ablation A3: proxy ARP vs broadcast ARP cost", runA3},
@@ -290,6 +291,20 @@ func runMgr(quick bool) (*obs.Report, error) {
 		cfg.Flows = 300
 	}
 	res, err := experiments.RunMgr(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Print(os.Stdout)
+	return res.Report, nil
+}
+
+func runFT(quick bool) (*obs.Report, error) {
+	cfg := experiments.DefaultFT()
+	if quick {
+		cfg.Ks = []int{4, 6}
+		cfg.Flows = 200
+	}
+	res, err := experiments.RunFT(cfg)
 	if err != nil {
 		return nil, err
 	}

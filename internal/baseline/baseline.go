@@ -25,7 +25,8 @@ import (
 )
 
 // Config tunes the spanning-tree timers (defaults follow classic STP
-// scaled down: hello 100 ms, max age 6 hellos).
+// scaled down: hello 100 ms, max age 6 hellos) and the hardware bound
+// on the learning table.
 type Config struct {
 	Hello  time.Duration
 	MaxAge time.Duration
@@ -36,6 +37,14 @@ type Config struct {
 	// single broadcast caught in a transient cycle snowballs into a
 	// line-rate storm.
 	ForwardDelay time.Duration
+	// MACTableCap bounds the learned-address CAM; 0 = unbounded (the
+	// pre-hardware-model behavior). A full table evicts the least
+	// recently used address — deterministically, via an intrusive
+	// recency list — and the evicted destination's next frame floods,
+	// which is exactly the table-pressure failure mode of conventional
+	// L2 that PortLand's O(k) PMAC state avoids (see HARDWARE.md and
+	// the `-exp ft` sweep).
+	MACTableCap int
 }
 
 // DefaultConfig is the timer set the ablation benches use.
@@ -56,6 +65,7 @@ func (c Config) withDefaults() Config {
 	if c.ForwardDelay > 0 {
 		d.ForwardDelay = c.ForwardDelay
 	}
+	d.MACTableCap = c.MACTableCap
 	return d
 }
 
@@ -134,12 +144,21 @@ type portInfo struct {
 
 // Counters tracks the baseline switch's activity.
 type Counters struct {
-	FramesIn    int64
-	FramesOut   int64
-	Flooded     int64 // frames replicated to >1 port (unknown dst/broadcast)
-	FloodCopies int64
-	Dropped     int64
-	BPDUsSent   int64
+	FramesIn     int64
+	FramesOut    int64
+	Flooded      int64 // frames replicated to >1 port (unknown dst/broadcast)
+	FloodCopies  int64
+	Dropped      int64
+	BPDUsSent    int64
+	MACEvictions int64 // learned addresses displaced by MACTableCap pressure
+}
+
+// camEntry is one learned address; prev/next order entries by recency
+// (maintained only under a MACTableCap bound).
+type camEntry struct {
+	addr       ether.Addr
+	port       int
+	prev, next *camEntry
 }
 
 // Switch is a flooding learning switch with spanning tree.
@@ -151,7 +170,10 @@ type Switch struct {
 	ports []portInfo
 	cfg   Config
 
-	macTable map[ether.Addr]int // addr -> port
+	macTable map[ether.Addr]*camEntry // addr -> learned entry
+	// camHead/camTail are the recency list ends (head = most recent),
+	// live only when cfg.MACTableCap > 0.
+	camHead, camTail *camEntry
 
 	root     uint32
 	rootCost uint32
@@ -174,7 +196,7 @@ func New(eng *sim.Engine, id uint32, name string, ports int, cfg Config) *Switch
 		links:    make([]*sim.Link, ports),
 		ports:    make([]portInfo, ports),
 		cfg:      cfg.withDefaults(),
-		macTable: make(map[ether.Addr]int),
+		macTable: make(map[ether.Addr]*camEntry),
 		root:     id,
 		rootPort: -1,
 	}
@@ -314,9 +336,85 @@ func (s *Switch) recompute() {
 		// TC flag for a MaxAge so the whole domain flushes too —
 		// without this, one-way flows chase stale entries into dead
 		// subtrees forever.
-		s.macTable = make(map[ether.Addr]int)
+		s.flushCAM()
 		s.tcUntil = now + s.cfg.MaxAge
 	}
+}
+
+// learnMAC records (or refreshes) addr → port. Under a MACTableCap
+// bound the entry moves to the recency head; a full table evicts the
+// recency tail first — like a real CAM, whose aging favors addresses
+// that keep transmitting. Recency follows *learning* (source activity)
+// only, not destination lookups, matching hardware aging semantics.
+func (s *Switch) learnMAC(addr ether.Addr, port int) {
+	if e, ok := s.macTable[addr]; ok {
+		e.port = port
+		if s.cfg.MACTableCap > 0 {
+			s.touchCAM(e)
+		}
+		return
+	}
+	if s.cfg.MACTableCap > 0 && len(s.macTable) >= s.cfg.MACTableCap {
+		s.Stats.MACEvictions++
+		s.removeCAM(s.camTail)
+	}
+	e := &camEntry{addr: addr, port: port}
+	s.macTable[addr] = e
+	if s.cfg.MACTableCap > 0 {
+		e.next = s.camHead
+		if s.camHead != nil {
+			s.camHead.prev = e
+		}
+		s.camHead = e
+		if s.camTail == nil {
+			s.camTail = e
+		}
+	}
+}
+
+// touchCAM moves e to the recency head.
+func (s *Switch) touchCAM(e *camEntry) {
+	if s.camHead == e {
+		return
+	}
+	s.unlinkCAM(e)
+	e.next = s.camHead
+	if s.camHead != nil {
+		s.camHead.prev = e
+	}
+	s.camHead = e
+	if s.camTail == nil {
+		s.camTail = e
+	}
+}
+
+// removeCAM deletes e from the table and recency list.
+func (s *Switch) removeCAM(e *camEntry) {
+	delete(s.macTable, e.addr)
+	if s.cfg.MACTableCap > 0 {
+		s.unlinkCAM(e)
+	}
+}
+
+// unlinkCAM detaches e from the recency list.
+func (s *Switch) unlinkCAM(e *camEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.camHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.camTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// flushCAM empties the learned table (topology change).
+func (s *Switch) flushCAM() {
+	s.macTable = make(map[ether.Addr]*camEntry)
+	s.camHead, s.camTail = nil, nil
 }
 
 func (s *Switch) send(port int, f *ether.Frame) {
@@ -345,7 +443,7 @@ func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 				// shrinks it and the wave terminates.
 				rem := time.Duration(b.TCMs)*time.Millisecond - s.cfg.Hello
 				if until := s.eng.Now() + rem; rem > 0 && until > s.tcUntil {
-					s.macTable = make(map[ether.Addr]int)
+					s.flushCAM()
 					s.tcUntil = until
 				}
 			}
@@ -359,22 +457,22 @@ func (s *Switch) HandleFrame(port int, f *ether.Frame) {
 	}
 	// Learn.
 	if !f.Src.IsMulticast() && !f.Src.IsBroadcast() {
-		s.macTable[f.Src] = port
+		s.learnMAC(f.Src, port)
 	}
 	// Forward. A learned entry is only usable if it still points at a
 	// forwarding port other than the ingress; otherwise fall through
 	// to flooding (the entry is stale after a tree change).
 	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
-		if out, ok := s.macTable[f.Dst]; ok {
-			if out == port {
+		if e, ok := s.macTable[f.Dst]; ok {
+			if e.port == port {
 				s.Stats.Dropped++
 				return
 			}
-			if s.Forwarding(out) {
-				s.send(out, f)
+			if s.Forwarding(e.port) {
+				s.send(e.port, f)
 				return
 			}
-			delete(s.macTable, f.Dst)
+			s.removeCAM(e)
 		}
 	}
 	// Flood on all forwarding ports except ingress.

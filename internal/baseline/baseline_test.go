@@ -223,3 +223,93 @@ func TestBPDUCodecRoundTrip(t *testing.T) {
 		t.Fatal("WireSize mismatch")
 	}
 }
+
+// TestMACTablePressure pins the conventional-L2 failure mode the
+// `-exp ft` sweep quantifies: with the CAM capped below the host
+// count, learning keeps evicting, the table never exceeds the cap,
+// and delivery survives only because evicted destinations fall back
+// to flooding (more FloodCopies than the unbounded fabric needs).
+func TestMACTablePressure(t *testing.T) {
+	build := func(cap int) (*Fabric, int64, int64) {
+		spec, err := topo.FatTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := BuildFabric(spec, 3, sim.LinkConfig{}, Config{MACTableCap: cap})
+		f.Start()
+		if err := f.AwaitTree(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		hosts := f.HostList()
+		got := 0
+		for _, h := range hosts {
+			h.Endpoint().BindUDP(7, func(netip.Addr, uint16, ether.Payload) { got++ })
+		}
+		for _, a := range hosts {
+			for _, b := range hosts {
+				if a != b {
+					a.Endpoint().SendUDP(b.IP(), 7, 7, 64)
+				}
+			}
+		}
+		f.RunFor(8 * time.Second)
+		if want := len(hosts) * (len(hosts) - 1); got != want {
+			t.Fatalf("cap=%d delivered %d/%d", cap, got, want)
+		}
+		var ev, copies int64
+		for _, id := range f.Spec.Switches() {
+			sw := f.Switches[id]
+			if cap > 0 && sw.MACTableLen() > cap {
+				t.Fatalf("%s holds %d learned addresses, cap %d", sw.Name(), sw.MACTableLen(), cap)
+			}
+			ev += sw.Stats.MACEvictions
+			copies += sw.Stats.FloodCopies
+		}
+		return f, ev, copies
+	}
+	_, ev0, copies0 := build(0) // unbounded
+	if ev0 != 0 {
+		t.Fatalf("unbounded fabric evicted %d", ev0)
+	}
+	_, ev, copies := build(6) // 16 hosts through 6-entry CAMs
+	if ev == 0 {
+		t.Fatal("capped CAM never evicted under 16-host all-pairs load")
+	}
+	if copies <= copies0 {
+		t.Fatalf("table pressure should force extra flooding: %d copies capped vs %d unbounded", copies, copies0)
+	}
+}
+
+// TestMACTablePressureDeterministic pins that eviction choice (LRU
+// recency list, no map iteration) is reproducible run over run.
+func TestMACTablePressureDeterministic(t *testing.T) {
+	run := func() []int64 {
+		spec, _ := topo.FatTree(4)
+		f := BuildFabric(spec, 3, sim.LinkConfig{}, Config{MACTableCap: 6})
+		f.Start()
+		if err := f.AwaitTree(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		hosts := f.HostList()
+		for _, a := range hosts {
+			for _, b := range hosts {
+				if a != b {
+					a.Endpoint().SendUDP(b.IP(), 7, 7, 64)
+				}
+			}
+		}
+		f.RunFor(4 * time.Second)
+		var sig []int64
+		for _, id := range f.Spec.Switches() {
+			sw := f.Switches[id]
+			sig = append(sig, sw.Stats.MACEvictions, int64(sw.MACTableLen()), sw.Stats.FloodCopies)
+		}
+		return sig
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signature[%d] differs across runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

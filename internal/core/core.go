@@ -79,6 +79,41 @@ type Options struct {
 	// and journal costs under ARP storms. Zero keeps the immediate
 	// per-query punt path.
 	PuntBatch time.Duration
+	// Speeds assigns per-tier link rate classes (host↔edge, edge↔agg,
+	// agg↔core) over the base Options.Link: annotated links keep the
+	// base delay/queue/loss but serialize at the class's line rate.
+	// The zero profile leaves every link on Options.Link, byte-identical
+	// to a build without the hardware model. See HARDWARE.md.
+	Speeds topo.SpeedProfile
+	// Hardware bounds each switch tier's ASIC tables (ECMP groups,
+	// member slots, flow entries) by pswitch.Generation. Zero
+	// generations keep tables unbounded. See HARDWARE.md.
+	Hardware HardwareProfile
+}
+
+// HardwareProfile assigns a switch Generation per tree tier. The zero
+// value imposes no limits anywhere.
+type HardwareProfile struct {
+	// Edge, Aggregation, Core bound the respective switch tiers.
+	Edge, Aggregation, Core pswitch.Generation
+}
+
+// Uniform builds a profile that applies one generation to every tier.
+func Uniform(g pswitch.Generation) HardwareProfile {
+	return HardwareProfile{Edge: g, Aggregation: g, Core: g}
+}
+
+// forLevel returns the generation bound for a blueprint level.
+func (h HardwareProfile) forLevel(l topo.Level) pswitch.Generation {
+	switch l {
+	case topo.Edge:
+		return h.Edge
+	case topo.Aggregation:
+		return h.Aggregation
+	case topo.Core:
+		return h.Core
+	}
+	return pswitch.Generation{}
 }
 
 func (o Options) withDefaults() Options {
@@ -104,7 +139,7 @@ type Fabric struct {
 	// driver's PRNG (Eng.Rand()); driver code that needs mid-run
 	// events must use Sched() instead, which is safe on every shard
 	// layout.
-	Eng     *sim.Engine
+	Eng  *sim.Engine
 	Spec *topo.Spec
 	Opts Options
 	// Manager is registry shard 0, the route authority (== Mgrs[0]).
@@ -218,6 +253,9 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 			f.Hosts[n.ID] = host.New(eng.NewProc(), n.Name, mac, ip)
 		default:
 			sw := pswitch.New(eng.NewProc(), SwitchID(n.ID), n.Name, n.Ports, opts.LDP)
+			if g := opts.Hardware.forLevel(n.Level); !g.Unlimited() {
+				sw.SetGeneration(g)
+			}
 			sw.SetDetector(opts.Detect)
 			sw.SetPuntBatch(opts.PuntBatch)
 			sw.SetJournal(f.Obs.Journal(n.Name, 256, eng.Now))
@@ -225,9 +263,16 @@ func Build(spec *topo.Spec, opts Options) *Fabric {
 			f.wireControl(n.ID, sw)
 		}
 	}
+	if !opts.Speeds.Uniform() {
+		spec.SetSpeeds(opts.Speeds)
+	}
 	for _, ls := range spec.Links {
 		an, bn := f.node(ls.A.Node), f.node(ls.B.Node)
-		l := dom.Connect(f.engOf[ls.A.Node], f.engOf[ls.B.Node], an, ls.A.Port, bn, ls.B.Port, opts.Link)
+		// A link annotated with a rate class (by Options.Speeds or by the
+		// blueprint itself) serializes at that class's line rate; the
+		// rest of the physical config comes from the fabric-wide base.
+		l := dom.Connect(f.engOf[ls.A.Node], f.engOf[ls.B.Node], an, ls.A.Port, bn, ls.B.Port,
+			opts.Link.WithRate(ls.Class.BitsPerSecond()))
 		if opts.WireCheck {
 			l := l
 			l.Tap = func(frame *ether.Frame) {

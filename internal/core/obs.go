@@ -35,6 +35,14 @@ func (f *Fabric) ObsCounters() obs.Counters {
 	c["mgr.gray_reports"] = ms.GrayReports
 	c["mgr.host_replays"] = ms.HostReplays
 
+	// Hardware-resource counters (flow evictions, ECMP group-table
+	// occupancy and degrades) appear only when some switch runs a
+	// bounded Generation: an unlimited fabric — the default — keeps the
+	// exact counter-key set (and therefore report bytes) it had before
+	// the hardware model existed.
+	limited := false
+	var evictions, degrades, groupsLive, membersUsed int64
+
 	for _, id := range f.Spec.Switches() {
 		sw := f.Switches[id]
 		s := sw.Stats
@@ -60,6 +68,20 @@ func (f *Fabric) ObsCounters() obs.Counters {
 		c["flow.expired"] += ft.Expired
 		c["flow.invalidations"] += ft.Invalidations
 		c["ldp.ldms_sent"] += sw.Agent().LDMsSent
+		if !sw.Generation().Unlimited() {
+			limited = true
+			rs := sw.ResourceStats()
+			evictions += ft.Evictions
+			degrades += rs.Degrades
+			groupsLive += int64(rs.GroupsLive)
+			membersUsed += int64(rs.MembersUsed)
+		}
+	}
+	if limited {
+		c["flow.evictions"] = evictions
+		c["ecmp.degrades"] = degrades
+		c["ecmp.groups_live"] = groupsLive
+		c["ecmp.members_used"] = membersUsed
 	}
 
 	d := f.LinkDrops()

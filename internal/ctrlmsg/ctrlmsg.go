@@ -361,32 +361,80 @@ func ShardOfIP(a netip.Addr, n int) int {
 	return int(block % uint32(n))
 }
 
-// Kind implementations.
-func (Hello) Kind() Kind            { return KindHello }
-func (LocationReport) Kind() Kind   { return KindLocationReport }
-func (PodRequest) Kind() Kind       { return KindPodRequest }
-func (PodAssign) Kind() Kind        { return KindPodAssign }
-func (PMACRegister) Kind() Kind     { return KindPMACRegister }
-func (ARPQuery) Kind() Kind         { return KindARPQuery }
-func (ARPAnswer) Kind() Kind        { return KindARPAnswer }
-func (ARPFlood) Kind() Kind         { return KindARPFlood }
-func (FaultNotify) Kind() Kind      { return KindFaultNotify }
-func (RouteExclude) Kind() Kind     { return KindRouteExclude }
-func (McastJoin) Kind() Kind        { return KindMcastJoin }
-func (McastInstall) Kind() Kind     { return KindMcastInstall }
-func (MigrationUpdate) Kind() Kind  { return KindMigrationUpdate }
-func (DHCPQuery) Kind() Kind        { return KindDHCPQuery }
-func (DHCPAnswer) Kind() Kind       { return KindDHCPAnswer }
+// Kind implements Msg for Hello.
+func (Hello) Kind() Kind { return KindHello }
+
+// Kind implements Msg for LocationReport.
+func (LocationReport) Kind() Kind { return KindLocationReport }
+
+// Kind implements Msg for PodRequest.
+func (PodRequest) Kind() Kind { return KindPodRequest }
+
+// Kind implements Msg for PodAssign.
+func (PodAssign) Kind() Kind { return KindPodAssign }
+
+// Kind implements Msg for PMACRegister.
+func (PMACRegister) Kind() Kind { return KindPMACRegister }
+
+// Kind implements Msg for ARPQuery.
+func (ARPQuery) Kind() Kind { return KindARPQuery }
+
+// Kind implements Msg for ARPAnswer.
+func (ARPAnswer) Kind() Kind { return KindARPAnswer }
+
+// Kind implements Msg for ARPFlood.
+func (ARPFlood) Kind() Kind { return KindARPFlood }
+
+// Kind implements Msg for FaultNotify.
+func (FaultNotify) Kind() Kind { return KindFaultNotify }
+
+// Kind implements Msg for RouteExclude.
+func (RouteExclude) Kind() Kind { return KindRouteExclude }
+
+// Kind implements Msg for McastJoin.
+func (McastJoin) Kind() Kind { return KindMcastJoin }
+
+// Kind implements Msg for McastInstall.
+func (McastInstall) Kind() Kind { return KindMcastInstall }
+
+// Kind implements Msg for MigrationUpdate.
+func (MigrationUpdate) Kind() Kind { return KindMigrationUpdate }
+
+// Kind implements Msg for DHCPQuery.
+func (DHCPQuery) Kind() Kind { return KindDHCPQuery }
+
+// Kind implements Msg for DHCPAnswer.
+func (DHCPAnswer) Kind() Kind { return KindDHCPAnswer }
+
+// Kind implements Msg for StateSyncRequest.
 func (StateSyncRequest) Kind() Kind { return KindStateSyncRequest }
-func (LeaseReport) Kind() Kind      { return KindLeaseReport }
-func (SyncDone) Kind() Kind         { return KindSyncDone }
-func (Heartbeat) Kind() Kind        { return KindHeartbeat }
-func (SeqData) Kind() Kind          { return KindSeqData }
-func (SeqAck) Kind() Kind           { return KindSeqAck }
-func (GrayReport) Kind() Kind       { return KindGrayReport }
-func (HostInstall) Kind() Kind      { return KindHostInstall }
-func (ARPQueryBatch) Kind() Kind    { return KindARPQueryBatch }
-func (ARPAnswerBatch) Kind() Kind   { return KindARPAnswerBatch }
+
+// Kind implements Msg for LeaseReport.
+func (LeaseReport) Kind() Kind { return KindLeaseReport }
+
+// Kind implements Msg for SyncDone.
+func (SyncDone) Kind() Kind { return KindSyncDone }
+
+// Kind implements Msg for Heartbeat.
+func (Heartbeat) Kind() Kind { return KindHeartbeat }
+
+// Kind implements Msg for SeqData.
+func (SeqData) Kind() Kind { return KindSeqData }
+
+// Kind implements Msg for SeqAck.
+func (SeqAck) Kind() Kind { return KindSeqAck }
+
+// Kind implements Msg for GrayReport.
+func (GrayReport) Kind() Kind { return KindGrayReport }
+
+// Kind implements Msg for HostInstall.
+func (HostInstall) Kind() Kind { return KindHostInstall }
+
+// Kind implements Msg for ARPQueryBatch.
+func (ARPQueryBatch) Kind() Kind { return KindARPQueryBatch }
+
+// Kind implements Msg for ARPAnswerBatch.
+func (ARPAnswerBatch) Kind() Kind { return KindARPAnswerBatch }
 
 type writer struct{ b []byte }
 

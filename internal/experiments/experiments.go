@@ -50,6 +50,14 @@ type Rig struct {
 	// PuntBatch arms edge-switch ARP-punt batching with the given hold
 	// timer (core.Options.PuntBatch). Zero punts each miss immediately.
 	PuntBatch time.Duration
+	// Speeds assigns per-tier link rate classes (core.Options.Speeds).
+	// The zero profile keeps every link on Rig.Link's uniform rate, so
+	// pre-existing experiments are bit-identical with or without it.
+	Speeds topo.SpeedProfile
+	// Hardware bounds each switch tier's ASIC tables
+	// (core.Options.Hardware). The zero profile keeps every table
+	// unbounded — the pre-hardware-model behavior.
+	Hardware core.HardwareProfile
 }
 
 // defaultShards is the process-wide engine-shard default baked into
@@ -68,7 +76,7 @@ func DefaultRig() Rig {
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards, MgrShards: r.MgrShards, PuntBatch: r.PuntBatch})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards, MgrShards: r.MgrShards, PuntBatch: r.PuntBatch, Speeds: r.Speeds, Hardware: r.Hardware})
 	if err != nil {
 		return nil, err
 	}

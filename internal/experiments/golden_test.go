@@ -126,6 +126,18 @@ func TestGoldenSC(t *testing.T) {
 	goldenEquivalent(t, func() (*SCResult, error) { return RunSC(cfg) })
 }
 
+// TestGoldenFT leans on the hardware-resource model — bounded flow
+// tables evicting under thrash, ECMP group admission degrading
+// destination classes — so this golden catches any eviction-victim or
+// admission-order state that differs between serial and parallel
+// sweep scheduling.
+func TestGoldenFT(t *testing.T) {
+	cfg := DefaultFT()
+	cfg.Ks = []int{4}
+	cfg.Flows = 200
+	goldenEquivalent(t, func() (*FTResult, error) { return RunFT(cfg) })
+}
+
 func TestGoldenMgr(t *testing.T) {
 	cfg := DefaultMgr()
 	cfg.Trials = 1

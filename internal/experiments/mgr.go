@@ -68,16 +68,16 @@ func mgrBatchLabel(d time.Duration) string {
 type MgrRow struct {
 	Shards     int
 	Batch      time.Duration
-	Queries    int64   // ARP queries served by all shards
-	PuntMsgs   int64   // control messages those queries rode in
-	MsgsPerQ   float64 // PuntMsgs / Queries — the batching amortization
-	BatchFill  float64 // queries per batch message (0 with batching off)
-	ARPsPerSec float64 // virtual-time service rate over the ARP span
-	RegMin     int64   // smallest per-shard registration count
-	RegMax     int64   // largest per-shard registration count
+	Queries    int64           // ARP queries served by all shards
+	PuntMsgs   int64           // control messages those queries rode in
+	MsgsPerQ   float64         // PuntMsgs / Queries — the batching amortization
+	BatchFill  float64         // queries per batch message (0 with batching off)
+	ARPsPerSec float64         // virtual-time service rate over the ARP span
+	RegMin     int64           // smallest per-shard registration count
+	RegMax     int64           // largest per-shard registration count
 	Detect     metrics.Summary // link-fail → fault-matrix transition, ms
 	Conv       metrics.Summary // link-fail → last exclusion install, ms
-	Excl       int     // exclusions pushed for the fault, all trials
+	Excl       int             // exclusions pushed for the fault, all trials
 }
 
 // MgrResult is the full sweep.

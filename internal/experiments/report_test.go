@@ -213,6 +213,82 @@ func TestMgrReportGoldenSharded(t *testing.T) {
 	}
 }
 
+// ftTestConfig is the smallest interesting ft cell grid: one degree,
+// the scaled Gen40 envelope plus the unbounded contrast.
+func ftTestConfig() FTConfig {
+	cfg := DefaultFT()
+	cfg.Ks = []int{4}
+	cfg.Flows = 200
+	return cfg
+}
+
+// TestFTReportGolden pins the table-pressure determinism acceptance
+// criterion: the same seed must yield a byte-identical `-exp ft` cell
+// report, run after run — flow evictions, ECMP degradations and all.
+// Regenerate with `go test ./internal/experiments -run Golden -update`
+// after an intentional schema or behavior change.
+func TestFTReportGolden(t *testing.T) {
+	cfg := ftTestConfig()
+	rep, err := ReplayFT(cfg, 4, "gen40/64", 0)
+	if err != nil {
+		t.Fatalf("ReplayFT: %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	golden := filepath.Join("testdata", "ft-report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fresh table-pressure replay differs from golden %s (len %d vs %d); run with -update if the change is intentional", golden, len(got), len(want))
+	}
+	rep2, err := ReplayFT(cfg, 4, "gen40/64", 0)
+	if err != nil {
+		t.Fatalf("ReplayFT (second run): %v", err)
+	}
+	again, err := rep2.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes (second run): %v", err)
+	}
+	if !bytes.Equal(again, got) {
+		t.Fatal("two in-process replays of the same table-pressure cell differ")
+	}
+}
+
+// TestFTReportGoldenSharded re-runs the same table-pressure cell on a
+// sharded engine against the same golden. Byte-identity here is the
+// eviction-determinism contract at fabric scope: shard layout must not
+// change which flow entries get evicted or which destination classes
+// degrade (the flow-table PRNG seeds from the switch ID, never an
+// engine stream).
+func TestFTReportGoldenSharded(t *testing.T) {
+	cfg := ftTestConfig()
+	cfg.Rig.Shards = 5
+	rep, err := ReplayFT(cfg, 4, "gen40/64", 0)
+	if err != nil {
+		t.Fatalf("ReplayFT (sharded): %v", err)
+	}
+	got, err := rep.EncodeBytes()
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "ft-report.golden.json"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("engine-sharded table-pressure replay differs from the serial golden (len %d vs %d): the shard determinism contract is broken", len(got), len(want))
+	}
+}
+
 // TestFig9ReportGoldenSharded pins the sharded engine's determinism
 // contract against the same golden the serial replay is gated on: a
 // Fig. 9 replay split across engine shards must produce the identical

@@ -174,6 +174,12 @@ const (
 	// A=querying switch ID, B=queries in the batch, C=registry hits,
 	// D=misses flooded.
 	MgrARPBatch
+	// EcmpDegrade: a switch's ECMP group-table admission failed and the
+	// candidate set was truncated or pushed onto the shared wildcard
+	// group (see internal/pswitch/resources.go and HARDWARE.md).
+	// A=dst pod, B=dst pos, C=width wanted, D=width granted (0 = rides
+	// the wildcard group).
+	EcmpDegrade
 
 	numKinds // internal bound; keep last
 )
@@ -225,6 +231,7 @@ var kindNames = [numKinds]string{
 	FaultRecovered:  "fault-recovered",
 	MgrHostReplay:   "mgr-host-replay",
 	MgrARPBatch:     "mgr-arp-batch",
+	EcmpDegrade:     "ecmp-degrade",
 }
 
 // String returns the kind's stable wire name (used in reports).
@@ -289,6 +296,8 @@ func (e Event) Text() string {
 		return fmt.Sprintf("switch=%d query=%d", e.A, e.B)
 	case MgrARPBatch:
 		return fmt.Sprintf("switch=%d queries=%d hits=%d misses=%d", e.A, e.B, e.C, e.D)
+	case EcmpDegrade:
+		return fmt.Sprintf("dst=%d/%d want=%d got=%d", e.A, e.B, e.C, e.D)
 	case MgrRegister, MgrMigrate:
 		return fmt.Sprintf("edge=%d ip=%s", e.A, ipv4(e.B))
 	case MgrPodAssign:

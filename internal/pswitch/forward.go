@@ -370,18 +370,37 @@ type candSet struct {
 	agentV uint64 // ldp.Agent.Version at build time
 	exclV  uint64 // Switch.exclEpoch at build time
 	ports  []int  // ascending; storage reused across rebuilds
+
+	// Hardware group-table bookkeeping (resources.go); unused and
+	// zero when the switch's Generation is unbounded.
+	width int  // member slots this set charges
+	live  bool // occupies a group-table entry
+	wild  bool // degraded: rides the shared wildcard group
 }
 
 // candidates returns the (cached) candidate out-ports for key. Port
 // order is ascending: ForEachLive* iterates ports in index order, so
 // the set is born sorted and ECMP modulus picks stay deterministic.
+//
+// Under a bounded Generation, each up-class set is one hardware ECMP
+// group: a rebuild re-runs group-table admission (resources.go) and
+// may come back truncated or degraded onto the shared wildcard group.
+// Down-class sets model LPM next-hop entries, not multipath groups,
+// and are never charged.
 func (s *Switch) candidates(key candKey) []int {
+	limited := key.kind == candUp && (s.gen.ECMPGroups > 0 || s.gen.ECMPMembers > 0)
 	cs := s.cands[key]
 	if cs == nil {
 		cs = &candSet{}
 		s.cands[key] = cs
 	} else if cs.agentV == s.agent.Version() && cs.exclV == s.exclEpoch {
+		if cs.wild {
+			return s.wildPorts()
+		}
 		return cs.ports
+	}
+	if limited {
+		s.releaseGroup(cs)
 	}
 	cs.agentV, cs.exclV = s.agent.Version(), s.exclEpoch
 	cs.ports = cs.ports[:0]
@@ -406,6 +425,14 @@ func (s *Switch) candidates(key candKey) []int {
 				cs.ports = append(cs.ports, port)
 			}
 		})
+	}
+	if limited {
+		ports, degraded := s.chargeGroup(key, cs)
+		if degraded {
+			cs.wild = true
+			return s.wildPorts()
+		}
+		return ports
 	}
 	return cs.ports
 }

@@ -43,6 +43,7 @@ type Counters struct {
 	DHCPProxied     int64 // Acks synthesized from manager answers
 	ProbesSent      int64 // gray-detector probe requests transmitted
 	ProbeReplies    int64 // probe requests answered (receiver side)
+	EcmpDegrades    int64 // group-table admission failures (see resources.go)
 }
 
 type pendingARP struct {
@@ -121,6 +122,15 @@ type Switch struct {
 	cands map[candKey]*candSet
 	// exclEpoch increments on every excl mutation, invalidating cands.
 	exclEpoch uint64
+
+	// Hardware resource envelope (resources.go). The zero Generation
+	// keeps every table unbounded; resGroups/resMembers account the
+	// ECMP group table and wild is the reserved fallback group that
+	// destination classes share once admission fails.
+	gen        Generation
+	resGroups  int
+	resMembers int
+	wild       *candSet
 
 	// Soft state mirrored for manager resync: DHCP leases this switch
 	// proxied (client MAC → IP) and active group memberships punted
@@ -290,6 +300,12 @@ func (s *Switch) Recover() {
 	s.leases = make(map[ether.Addr]netip.Addr)
 	s.joins = make(map[joinKey]bool)
 	s.flows = flowtable.New(s.eng.Now, 0)
+	// Hardware is physical: a reboot clears the tables but not the
+	// ASIC's limits, so the generation bound re-applies to the fresh
+	// flow table and the group-table accounting restarts empty.
+	s.applyGen()
+	s.wild = nil
+	s.resGroups, s.resMembers = 0, 0
 	// The replacement agent restarts its version counter, so cached
 	// candidate sets validated against the old counter must go too.
 	s.cands = make(map[candKey]*candSet)

@@ -43,6 +43,29 @@ var DefaultLinkConfig = LinkConfig{
 	QueueFrames: 128,
 }
 
+// WithRate returns a copy of the config at a different line rate,
+// keeping delay/queue/loss. Topology builders use it to apply per-link
+// rate classes (topo.RateClass) over one fabric-wide base config; a
+// zero rate returns the config unchanged.
+func (c LinkConfig) WithRate(bps int64) LinkConfig {
+	if bps > 0 {
+		c.Rate = bps
+	}
+	return c
+}
+
+// SerializationDelay returns the time the link's transmitter occupies
+// the wire for a frame of the given size — the per-hop cost that makes
+// a 40G port four times slower than a 160G one for the same bytes.
+// This is exactly the term Send charges; exported so experiments can
+// report expected per-hop costs per rate class.
+func (c LinkConfig) SerializationDelay(wireBytes int) time.Duration {
+	if c.Rate <= 0 {
+		return 0
+	}
+	return time.Duration(int64(wireBytes) * 8 * int64(time.Second) / c.Rate)
+}
+
 // DirStats counts one direction's per-cause outcomes. A receiver that
 // samples the stats of the direction delivering to it sees exactly
 // what its NIC would count: frames that made it (Delivered) and frames
@@ -395,7 +418,7 @@ func (l *Link) Send(from Node, f *ether.Frame) {
 		e.pool.Put(f)
 		return
 	}
-	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
+	ser := l.cfg.SerializationDelay(f.WireSize())
 	start := e.now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
@@ -421,7 +444,7 @@ func (l *Link) sendDomain(dir *direction, e *Engine, f *ether.Frame) {
 		e.pool.Put(f)
 		return
 	}
-	ser := time.Duration(int64(f.WireSize()) * 8 * int64(time.Second) / l.cfg.Rate)
+	ser := l.cfg.SerializationDelay(f.WireSize())
 	start := now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
