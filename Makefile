@@ -97,8 +97,14 @@ bench-gate:
 # stack resizing). The baseline's num_cpu/gomaxprocs fields and the
 # per-row workers metric record how much parallelism the run actually
 # had — on a single-core host the sharded rows measure partition
-# overhead, not speedup.
-BENCH_SHARD_BASELINE ?= BENCH_2026-08-09-shard.json
+# overhead, not speedup. The pairwise baseline also records the epoch
+# planner's deterministic epochs/barriers/skips metrics: the
+# planner=global rows rerun the 8-shard boots under the global-minimum
+# reference planner, pinning the pairwise planner's barrier savings
+# (k=48: 34k vs 132k wakeups per shard; k=64: 77k vs 227k). The planner
+# differential identity tests (TestPlannerDifferentialIdentity,
+# TestShardPlannerDifferential) run under `make test` and `make race`.
+BENCH_SHARD_BASELINE ?= BENCH_2026-08-09-pairwise.json
 bench-shard:
 	$(GO) test -bench ShardedBoot -benchtime 1x -benchmem -run '^$$' \
 		./internal/core > bench-shard.out

@@ -12,6 +12,7 @@
 //	portland-bench -parallel 4     # worker-pool size (0 = GOMAXPROCS)
 //	portland-bench -serial         # force one worker (escape hatch)
 //	portland-bench -shards 8       # engine shards per fabric (same output)
+//	portland-bench -shards 8 -synccounters  # add sync.* engine counters to reports
 //	portland-bench -cpuprofile cpu.prof -memprofile mem.prof
 //	portland-bench -reports out/   # also write <id>-report.json per experiment
 package main
@@ -53,6 +54,7 @@ func run() int {
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		serial     = flag.Bool("serial", false, "run sweeps on one worker (same output, for bisecting)")
 		shards     = flag.Int("shards", 0, "engine shards per fabric (0/1 = serial); output is byte-identical at every value")
+		syncCtrs   = flag.Bool("synccounters", false, "report the engine domain's sync.* counters (epoch planner barriers/skips) per cell")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		reports    = flag.String("reports", "", "directory for per-experiment <id>-report.json files")
@@ -65,6 +67,7 @@ func run() int {
 		runner.SetWorkers(*parallel)
 	}
 	experiments.SetDefaultShards(*shards)
+	experiments.SetDefaultSyncCounters(*syncCtrs)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

@@ -66,6 +66,22 @@ type Options struct {
 	// serial run for the same seed (gated by TestShardIdentity and the
 	// sharded experiment goldens).
 	Shards int
+	// ShardWeight, when non-nil, scores each node's expected event
+	// rate for the shard partitioner (see topo.PartitionWeighted):
+	// pods pack by summed node weight instead of node count, so a
+	// blueprint whose pods are equal-sized but unequally busy (e.g.
+	// trace workloads pinned to a few racks) still balances. Nil keeps
+	// the count-based default. The hook changes only which shard a pod
+	// lands on, never the simulation's event order — any partition is
+	// byte-identical to serial.
+	ShardWeight topo.WeightFunc
+	// SyncCounters, when true, adds the engine domain's
+	// synchronization counters (planner epochs, per-shard
+	// barriers/skips, mailbox traffic) to ObsCounters under "sync.*"
+	// keys. Off by default so sharded replay reports stay
+	// byte-identical to the serial goldens — synchronization cost is
+	// an engine property, not a fabric behavior.
+	SyncCounters bool
 	// MgrShards partitions the fabric manager's IP→PMAC registry by
 	// address prefix across N manager replicas (see ctrlmsg.ShardOfIP).
 	// Shard 0 keeps the route authority — pod numbering, fault matrix,
@@ -201,7 +217,7 @@ func NewFatTree(k int, opts Options) (*Fabric, error) {
 // Build wires a fabric from an arbitrary blueprint.
 func Build(spec *topo.Spec, opts Options) *Fabric {
 	opts = opts.withDefaults()
-	assign, nShards := topo.Partition(spec, opts.Shards)
+	assign, nShards := topo.PartitionWeighted(spec, opts.Shards, opts.ShardWeight)
 	dom := sim.NewDomain(opts.Seed, nShards)
 	nMgr := opts.MgrShards
 	if nMgr < 1 {

@@ -16,11 +16,19 @@ import (
 // flow's arrival timeline. Byte-equality of this string across shard
 // counts is the sharded engine's determinism contract.
 func shardTrace(t *testing.T, k, shards int, loss float64) string {
+	return shardTraceOpt(t, k, shards, loss, false)
+}
+
+// shardTraceOpt is shardTrace with the epoch-planner axis exposed:
+// globalPlanner runs the retained global-minimum reference planner
+// instead of the pairwise one.
+func shardTraceOpt(t *testing.T, k, shards int, loss float64, globalPlanner bool) string {
 	t.Helper()
 	f, err := NewFatTree(k, Options{Seed: 77, Shards: shards, CtrlLoss: loss})
 	if err != nil {
 		t.Fatal(err)
 	}
+	f.Dom.SetGlobalPlanner(globalPlanner)
 	if want := min(shards, k+1); shards > 1 && f.Dom.Shards() != want {
 		t.Fatalf("partition collapsed: want %d shards, got %d", want, f.Dom.Shards())
 	}
@@ -94,6 +102,60 @@ func TestShardIdentityCtrlLoss(t *testing.T) {
 	if got := shardTrace(t, 4, 5, 0.1); got != serial {
 		t.Errorf("shards=5 lossy trace diverges from serial (len %d vs %d): %s",
 			len(got), len(serial), firstDiff(serial, got))
+	}
+}
+
+// TestShardPlannerDifferential is the fabric-level planner
+// differential gate: the same sharded scenario run under the pairwise
+// epoch planner and under the retained global-minimum planner must
+// produce byte-identical traces (and TestShardIdentity separately pins
+// pairwise == serial). Runs under -race via `make check`, where the
+// two planners' different wake patterns also exercise the concurrent
+// window path differently.
+func TestShardPlannerDifferential(t *testing.T) {
+	pair := shardTraceOpt(t, 4, 5, 0, false)
+	glob := shardTraceOpt(t, 4, 5, 0, true)
+	if glob != pair {
+		t.Errorf("global-planner trace diverges from pairwise (len %d vs %d): %s",
+			len(glob), len(pair), firstDiff(pair, glob))
+	}
+}
+
+// TestSyncCountersOptIn pins the observability contract: sync.* keys
+// appear in ObsCounters only when Options.SyncCounters is set (the
+// golden-gated replay reports never set it, keeping their byte image),
+// and when set on a sharded fabric the planner's epoch/barrier/skip
+// counters are live.
+func TestSyncCountersOptIn(t *testing.T) {
+	build := func(sync bool) *Fabric {
+		f, err := NewFatTree(4, Options{Seed: 7, Shards: 3, SyncCounters: sync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start()
+		f.RunFor(50 * time.Millisecond)
+		return f
+	}
+	for k := range build(false).ObsCounters() {
+		if strings.HasPrefix(k, "sync.") {
+			t.Fatalf("default fabric leaks %q into ObsCounters", k)
+		}
+	}
+	c := build(true).ObsCounters()
+	if c["sync.epochs"] <= 0 {
+		t.Errorf("sync.epochs = %d, want > 0", c["sync.epochs"])
+	}
+	if c["sync.barriers"] <= 0 {
+		t.Errorf("sync.barriers = %d, want > 0", c["sync.barriers"])
+	}
+	if c["sync.skips"] <= 0 {
+		t.Errorf("sync.skips = %d, want > 0 (quiescent shards should be skipped during boot)", c["sync.skips"])
+	}
+	if c["sync.mail_recv"] <= 0 {
+		t.Errorf("sync.mail_recv = %d, want > 0", c["sync.mail_recv"])
+	}
+	if _, ok := c["sync.s2.barriers"]; !ok {
+		t.Error("per-shard sync.s2.barriers key missing")
 	}
 }
 

@@ -108,13 +108,16 @@ func SimPipeCfg(eng *sim.Engine, cfg PipeConfig) (a, b *SimConn) {
 // SimPipeDom creates a control channel whose ends live on (possibly
 // different) shards of a domain: end a on ea, end b on eb. Each end
 // gets its own scheduling stream, and a cross-shard pipe registers its
-// delay as a domain lookahead bound.
+// delay as a per-direction (src shard → dst shard) lookahead bound in
+// the domain's pairwise matrix — the pipe carries traffic both ways,
+// so both directed pairs are registered.
 func SimPipeDom(d *sim.Domain, ea, eb *sim.Engine, cfg PipeConfig) (a, b *SimConn) {
 	ca := &SimConn{eng: ea, proc: ea.NewProc(), cfg: cfg}
 	cb := &SimConn{eng: eb, proc: eb.NewProc(), cfg: cfg}
 	ca.peer = cb
 	cb.peer = ca
-	d.RegisterLatency(ea, eb, cfg.Delay)
+	d.RegisterLatencyDir(ea, eb, cfg.Delay)
+	d.RegisterLatencyDir(eb, ea, cfg.Delay)
 	return ca, cb
 }
 

@@ -47,6 +47,13 @@ type Rig struct {
 	// across N replicas (core.Options.MgrShards). Zero or one is the
 	// classic single manager.
 	MgrShards int
+	// SyncCounters adds the engine domain's synchronization counters
+	// (epoch planner barriers/skips, mailbox traffic) to each report's
+	// counter block under "sync.*" keys (core.Options.SyncCounters).
+	// Off by default: the keys describe the engine, not the fabric, so
+	// the golden-gated reports never include them — a sharded replay
+	// stays byte-identical to the serial golden.
+	SyncCounters bool
 	// PuntBatch arms edge-switch ARP-punt batching with the given hold
 	// timer (core.Options.PuntBatch). Zero punts each miss immediately.
 	PuntBatch time.Duration
@@ -70,13 +77,21 @@ var defaultShards int
 // experiment rigs. Zero or one means serial.
 func SetDefaultShards(n int) { defaultShards = n }
 
+// defaultSyncCounters is the process-wide default behind
+// portland-bench's -synccounters flag; see Rig.SyncCounters.
+var defaultSyncCounters bool
+
+// SetDefaultSyncCounters sets whether DefaultRig rigs report the
+// engine domain's synchronization counters in their reports.
+func SetDefaultSyncCounters(on bool) { defaultSyncCounters = on }
+
 // DefaultRig mirrors the paper's testbed scale.
 func DefaultRig() Rig {
-	return Rig{K: 4, Seed: 1, Shards: defaultShards}
+	return Rig{K: 4, Seed: 1, Shards: defaultShards, SyncCounters: defaultSyncCounters}
 }
 
 func (r Rig) build() (*core.Fabric, error) {
-	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards, MgrShards: r.MgrShards, PuntBatch: r.PuntBatch, Speeds: r.Speeds, Hardware: r.Hardware})
+	f, err := core.NewFatTree(r.K, core.Options{Seed: r.Seed, Link: r.Link, LDP: r.LDP, CtrlLoss: r.CtrlLoss, Detect: r.Detect, Shards: r.Shards, SyncCounters: r.SyncCounters, MgrShards: r.MgrShards, PuntBatch: r.PuntBatch, Speeds: r.Speeds, Hardware: r.Hardware})
 	if err != nil {
 		return nil, err
 	}

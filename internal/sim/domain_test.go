@@ -29,6 +29,11 @@ type snode struct {
 type snet struct {
 	d     *Domain
 	nodes []*snode
+	// dlook, when non-nil, is a full node-pair send-delay matrix
+	// (indexed [src][dst]); nil means every node uses its uniform
+	// snode.look. Delays are a property of the logical node pair, not
+	// the shard layout, so traces stay identical across shard counts.
+	dlook [][]time.Duration
 	// xlog is appended only from exclusive events, which run
 	// single-threaded with every shard parked — no lock needed.
 	xlog []string
@@ -37,7 +42,9 @@ type snet struct {
 // newSnet builds a Domain with the given shard count and a synthetic
 // net of `n` entities. Entity i lives on shard i%shards; construction
 // order (and therefore every rank and RNG stream) is identical for
-// every layout.
+// every layout. Only the (0, i) couplings are registered — sends
+// between two non-zero shards deliberately exercise the planner's
+// global-minimum fallback for unregistered pairs.
 func newSnet(seed uint64, shards, n int, look time.Duration) *snet {
 	d := NewDomain(seed, shards)
 	net := &snet{d: d}
@@ -51,17 +58,51 @@ func newSnet(seed uint64, shards, n int, look time.Duration) *snet {
 	return net
 }
 
+// newSnetMatrix builds the same net over a heterogeneous node-pair
+// delay matrix: each directed shard pair registers the minimum
+// node-pair delay that can cross it, so the domain's pairwise
+// lookahead matrix is exactly as tight as the traffic allows and every
+// send meets its own pair's bound by construction.
+func newSnetMatrix(seed uint64, shards, n int, dlook [][]time.Duration) *snet {
+	d := NewDomain(seed, shards)
+	net := &snet{d: d, dlook: dlook}
+	for i := 0; i < n; i++ {
+		e := d.Engine(i % d.Shards())
+		net.nodes = append(net.nodes, &snode{id: i, p: e.NewProc()})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ei, ej := net.nodes[i].p.Engine(), net.nodes[j].p.Engine()
+			if i == j || ei == ej {
+				continue
+			}
+			d.RegisterLatencyDir(ei, ej, dlook[i][j])
+		}
+	}
+	return net
+}
+
+// sendDelay is the minimum delay for a handoff from node src to node
+// dst: the matrix entry in matrix mode, the uniform lookahead
+// otherwise.
+func (net *snet) sendDelay(src, dst int) time.Duration {
+	if net.dlook != nil {
+		return net.dlook[src][dst]
+	}
+	return net.nodes[src].look
+}
+
 // send forwards a bounded chain: pick the next hop and an extra delay
 // from this entity's own stream, then hand the callback off with a
-// timestamp at least one lookahead in the future (the contract every
-// cross-shard coupling must meet).
+// timestamp at least the pair's delay in the future (the contract
+// every cross-shard coupling must meet).
 func (n *snode) send(net *snet, hops int) {
 	if hops <= 0 {
 		return
 	}
 	dst := net.nodes[n.p.Rand().IntN(len(net.nodes))]
 	extra := time.Duration(n.p.Rand().IntN(7)) * 50 * time.Microsecond
-	at := n.p.Now() + n.look + extra
+	at := n.p.Now() + net.sendDelay(n.id, dst.id) + extra
 	from := n.id
 	n.p.ScheduleOn(dst.p.Engine(), at, func() {
 		// The barrier invariant, observed from the receiver: a handoff
@@ -269,13 +310,49 @@ func TestBarrierViolationPanics(t *testing.T) {
 // are byte-identical to the serial one.
 // ---------------------------------------------------------------------------
 
+// scriptMatrix derives a deterministic heterogeneous node-pair delay
+// matrix from a fuzz script: every directed pair gets a delay in
+// [450µs, 1.65ms] mixing the pair indices with script bytes, so each
+// input also fuzzes the pairwise lookahead matrix the planner runs on.
+func scriptMatrix(script []byte, nodes int) [][]time.Duration {
+	m := make([][]time.Duration, nodes)
+	for i := range m {
+		m[i] = make([]time.Duration, nodes)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			off := 0
+			if len(script) > 0 {
+				off = int(script[(i*nodes+j)%len(script)]) % 8
+			}
+			m[i][j] = time.Duration(3+(i*5+j*3+off)%9) * 150 * time.Microsecond
+		}
+	}
+	return m
+}
+
 // runBarrierScript executes one fuzz script on the given shard count
 // and returns the observable trace.
 func runBarrierScript(seed uint64, shards int, script []byte) string {
+	return runBarrierScriptOpt(seed, shards, script, false, false)
+}
+
+// runBarrierScriptOpt is runBarrierScript with the two planner axes
+// exposed: matrix mode swaps the uniform lookahead for a script-derived
+// per-pair delay matrix, and global mode runs the retained
+// global-minimum reference planner instead of the pairwise one.
+func runBarrierScriptOpt(seed uint64, shards int, script []byte, matrix, global bool) string {
 	const nodes = 5
 	look := time.Millisecond
-	net := newSnet(seed, shards, nodes, look)
+	var net *snet
+	if matrix {
+		net = newSnetMatrix(seed, shards, nodes, scriptMatrix(script, nodes))
+	} else {
+		net = newSnet(seed, shards, nodes, look)
+	}
 	d := net.d
+	d.SetGlobalPlanner(global)
 	d.SetWorkers(d.Shards())
 	for i := 0; i+2 < len(script); i += 3 {
 		op, a, b := script[i], script[i+1], script[i+2]
@@ -314,7 +391,10 @@ func runBarrierScript(seed uint64, shards int, script []byte) string {
 // FuzzShardBarrier fuzzes the epoch/barrier machinery: for every
 // generated scenario, no cross-shard event may be delivered before the
 // barrier that covers it, and the sharded trace must be byte-identical
-// to the serial one.
+// to the serial one — under the uniform lookahead, and again under a
+// script-derived heterogeneous per-pair lookahead matrix, where the
+// sharded pairwise-planned run must also match the sharded
+// global-minimum-planned run (the differential planner invariant).
 func FuzzShardBarrier(f *testing.F) {
 	f.Add(uint64(1), []byte{0, 0, 0})
 	f.Add(uint64(7), []byte{0, 1, 19, 1, 2, 19, 2, 3, 5, 3, 4, 20})
@@ -330,5 +410,193 @@ func FuzzShardBarrier(f *testing.F) {
 				t.Fatalf("shards=%d trace diverges from serial:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
 			}
 		}
+		mserial := runBarrierScriptOpt(seed, 1, script, true, false)
+		for _, shards := range []int{2, 4} {
+			if got := runBarrierScriptOpt(seed, shards, script, true, false); got != mserial {
+				t.Fatalf("matrix shards=%d pairwise trace diverges from serial:\nserial:\n%s\nsharded:\n%s", shards, mserial, got)
+			}
+			if got := runBarrierScriptOpt(seed, shards, script, true, true); got != mserial {
+				t.Fatalf("matrix shards=%d global-planner trace diverges from serial:\nserial:\n%s\nsharded:\n%s", shards, mserial, got)
+			}
+		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise planner: differential identity and epoch accounting
+// ---------------------------------------------------------------------------
+
+// TestPlannerDifferentialIdentity is the planner differential gate: on
+// heterogeneous per-pair delay matrices, the pairwise-planned run, the
+// retained global-minimum-planned run, and the serial run must produce
+// byte-identical traces. Window planning decides only when shards
+// synchronize — never what executes in which order.
+func TestPlannerDifferentialIdentity(t *testing.T) {
+	script := []byte{0, 1, 19, 1, 2, 19, 2, 3, 5, 3, 4, 20, 0, 2, 40, 2, 1, 7, 3, 0, 33, 0, 4, 9}
+	for _, seed := range []uint64{3, 21, 777} {
+		serial := runBarrierScriptOpt(seed, 1, script, true, false)
+		if len(serial) == 0 {
+			t.Fatal("serial trace is empty; the scenario did nothing")
+		}
+		for _, shards := range []int{2, 3, 5} {
+			pair := runBarrierScriptOpt(seed, shards, script, true, false)
+			glob := runBarrierScriptOpt(seed, shards, script, true, true)
+			if pair != serial {
+				t.Errorf("seed=%d shards=%d: pairwise trace diverges from serial", seed, shards)
+			}
+			if glob != pair {
+				t.Errorf("seed=%d shards=%d: global-planner trace diverges from pairwise", seed, shards)
+			}
+		}
+	}
+}
+
+// asymDomain builds the hand-computable 3-shard topology the epoch
+// accounting tests run on: shard 0 is an (initially idle) core bank
+// with fast 100µs couplings to both pod shards, while the pod↔pod
+// coupling is a slow 1ms path. Shard 1 holds events at 0 and 150µs,
+// shard 2 one event at 2ms.
+func asymDomain() *Domain {
+	d := NewDomain(5, 3)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), 100*time.Microsecond)
+	d.RegisterLatency(d.Engine(0), d.Engine(2), 100*time.Microsecond)
+	d.RegisterLatency(d.Engine(1), d.Engine(2), time.Millisecond)
+	p1 := d.Engine(1).NewProc()
+	p2 := d.Engine(2).NewProc()
+	p1.ScheduleAt(0, func() {})
+	p1.ScheduleAt(150*time.Microsecond, func() {})
+	p2.ScheduleAt(2*time.Millisecond, func() {})
+	return d
+}
+
+// TestEpochAccountingPairwise pins the pairwise planner's counters on
+// the asymmetric 3-shard topology, every value hand-derived:
+//
+// Epoch 1: E = [100µs, 0, 200µs] after relaxation (the idle core bank
+// is pulled down by shard 1's event through the 100µs coupling, and
+// shard 2's own 2ms event is beaten by the relayed 0+100µs+100µs
+// chain). Shard 1's window limit is min(E0+100µs, E2+1ms) = 200µs — it
+// runs BOTH its events in one window, past the 100µs global bound —
+// while shards 0 and 2 are skipped. Epoch 2: only shard 2 wakes (limit
+// 2.2ms covers its 2ms event); 0 and 1 are skipped again. Then the
+// domain is empty and RunUntil exits: 2 epochs, 2 wakeups total where
+// the global planner spends 9 (see TestEpochAccountingGlobal).
+func TestEpochAccountingPairwise(t *testing.T) {
+	d := asymDomain()
+	if n := d.RunUntil(3 * time.Millisecond); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	s := d.SyncStats()
+	if s.Epochs != 2 || s.Instants != 0 {
+		t.Fatalf("epochs=%d instants=%d, want 2/0", s.Epochs, s.Instants)
+	}
+	wantBarriers := []int64{0, 1, 1}
+	wantSkips := []int64{2, 1, 1}
+	for i, sh := range s.Shards {
+		if sh.Barriers != wantBarriers[i] {
+			t.Errorf("shard %d barriers=%d, want %d", i, sh.Barriers, wantBarriers[i])
+		}
+		if sh.Skips != wantSkips[i] {
+			t.Errorf("shard %d skips=%d, want %d", i, sh.Skips, wantSkips[i])
+		}
+	}
+}
+
+// TestEpochAccountingGlobal runs the same scenario under the retained
+// global-minimum planner: three 100µs-wide epochs (one per event
+// timestamp), every shard woken at every one — 9 wakeups, no skips.
+// Together with TestEpochAccountingPairwise this pins exactly what the
+// pairwise planner saves.
+func TestEpochAccountingGlobal(t *testing.T) {
+	d := asymDomain()
+	d.SetGlobalPlanner(true)
+	if n := d.RunUntil(3 * time.Millisecond); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	s := d.SyncStats()
+	if s.Epochs != 3 || s.Instants != 0 {
+		t.Fatalf("epochs=%d instants=%d, want 3/0", s.Epochs, s.Instants)
+	}
+	for i, sh := range s.Shards {
+		if sh.Barriers != 3 || sh.Skips != 0 {
+			t.Errorf("shard %d barriers=%d skips=%d, want 3/0", i, sh.Barriers, sh.Skips)
+		}
+	}
+}
+
+// TestSyncStatsMail pins the mailbox counters: cross-shard handoffs
+// drained at one barrier count toward the receiver's MailRecv, and
+// MailHighWater keeps the largest single-barrier batch.
+func TestSyncStatsMail(t *testing.T) {
+	d := NewDomain(6, 2)
+	d.RegisterLatency(d.Engine(0), d.Engine(1), time.Millisecond)
+	p := d.Engine(0).NewProc()
+	ran := 0
+	p.ScheduleAt(0, func() {
+		for i := 0; i < 3; i++ {
+			p.ScheduleOn(d.Engine(1), p.Now()+time.Millisecond+time.Duration(i)*time.Microsecond, func() { ran++ })
+		}
+	})
+	p.ScheduleAt(5*time.Millisecond, func() {
+		p.ScheduleOn(d.Engine(1), p.Now()+2*time.Millisecond, func() { ran++ })
+	})
+	d.RunUntil(10 * time.Millisecond)
+	if ran != 4 {
+		t.Fatalf("ran %d cross-shard callbacks, want 4", ran)
+	}
+	s := d.SyncStats()
+	sh := s.Shards[1]
+	if sh.MailRecv != 4 {
+		t.Errorf("shard 1 mail_recv=%d, want 4", sh.MailRecv)
+	}
+	if sh.MailHighWater != 3 {
+		t.Errorf("shard 1 mail_hw=%d, want 3", sh.MailHighWater)
+	}
+	if s.Shards[0].MailRecv != 0 {
+		t.Errorf("shard 0 mail_recv=%d, want 0", s.Shards[0].MailRecv)
+	}
+}
+
+// TestWorkerCap pins the satellite fix: the worker pool can never
+// exceed the shard count — neither from the GOMAXPROCS default nor
+// through SetWorkers — so benchmark metrics report parallelism the
+// epochs can actually use.
+func TestWorkerCap(t *testing.T) {
+	d := NewDomain(1, 3)
+	if w := d.EffectiveWorkers(); w > 3 {
+		t.Fatalf("default workers=%d exceeds 3 shards", w)
+	}
+	d.SetWorkers(64)
+	if w := d.EffectiveWorkers(); w != 3 {
+		t.Fatalf("SetWorkers(64) on 3 shards gives %d, want 3", w)
+	}
+	d.SetWorkers(0)
+	if w := d.EffectiveWorkers(); w != 1 {
+		t.Fatalf("SetWorkers(0) gives %d, want 1", w)
+	}
+}
+
+// TestPairLookahead pins the matrix accessor semantics: a directed
+// registration bounds only its direction, the reverse direction falls
+// back to the global minimum until registered, and registered values
+// take precedence over the fallback even when larger.
+func TestPairLookahead(t *testing.T) {
+	d := NewDomain(2, 3)
+	d.RegisterLatencyDir(d.Engine(0), d.Engine(1), 2*time.Millisecond)
+	if got := d.PairLookahead(0, 1); got != 2*time.Millisecond {
+		t.Fatalf("look[0→1] = %v, want 2ms", got)
+	}
+	if got := d.PairLookahead(1, 0); got != 2*time.Millisecond {
+		t.Fatalf("unregistered look[1→0] = %v, want the 2ms global fallback", got)
+	}
+	d.RegisterLatencyDir(d.Engine(1), d.Engine(0), 5*time.Millisecond)
+	if got := d.PairLookahead(1, 0); got != 5*time.Millisecond {
+		t.Fatalf("look[1→0] = %v, want the registered 5ms over the fallback", got)
+	}
+	if got := d.Lookahead(); got != 2*time.Millisecond {
+		t.Fatalf("global lookahead = %v, want 2ms", got)
+	}
+	if got := d.PairLookahead(0, 2); got != 2*time.Millisecond {
+		t.Fatalf("uncoupled pair look[0→2] = %v, want the global fallback", got)
+	}
 }

@@ -241,7 +241,8 @@ func Connect(e *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link 
 // Connect wires (an,ap) on engine ea to (bn,bp) on engine eb in domain
 // mode: per-direction receiver-shard streams, delivery-time loss
 // coins, and transmitter-local queue accounting. A cross-shard link
-// registers its propagation delay as a lookahead bound.
+// registers its propagation delay as a lookahead bound for both
+// directed shard pairs (full-duplex media, one delay).
 func (d *Domain) Connect(ea, eb *Engine, an Node, ap int, bn Node, bp int, cfg LinkConfig) *Link {
 	if ea.dom != d || eb.dom != d {
 		panic("sim: Domain.Connect with engines outside the domain")
